@@ -1,0 +1,58 @@
+//! Criterion benches behind Fig. 5: RPL exploration under the four methods
+//! (ContrArc, ArchEx-style baseline, monolithic, compositional) on fixed
+//! instances.
+
+use contrarc::baseline::solve_monolithic;
+use contrarc::{explore, ExplorerConfig};
+use contrarc_milp::SolveOptions;
+use contrarc_systems::decompose::{explore_decomposed, explore_monolithic};
+use contrarc_systems::rpl::{build, RplConfig, RplLines};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    for n in [1usize] {
+        let problem = build(&RplConfig::symmetric(n), RplLines::Both);
+        group.bench_function(format!("contrarc/n{n}"), |b| {
+            b.iter(|| {
+                let r = explore(black_box(&problem), &ExplorerConfig::complete()).unwrap();
+                black_box(r.stats().iterations)
+            });
+        });
+        group.bench_function(format!("archex/n{n}"), |b| {
+            b.iter(|| {
+                let r = solve_monolithic(black_box(&problem), &SolveOptions::default()).unwrap();
+                black_box(r.stats().iterations)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    for n in [1usize] {
+        let config = RplConfig::symmetric(n);
+        group.bench_function(format!("monolithic/n{n}"), |b| {
+            b.iter(|| {
+                let r = explore_monolithic(black_box(&config), &ExplorerConfig::complete())
+                    .unwrap();
+                black_box(r.stats().iterations)
+            });
+        });
+        group.bench_function(format!("compositional/n{n}"), |b| {
+            b.iter(|| {
+                let r = explore_decomposed(black_box(&config), &ExplorerConfig::complete())
+                    .unwrap();
+                black_box(r.total_time)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a, bench_fig5b);
+criterion_main!(benches);

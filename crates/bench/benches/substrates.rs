@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the substrates: the MILP solver and the subgraph
+//! isomorphism engine (the design choices DESIGN.md calls out).
+
+use contrarc_graph::iso::{subgraph_isomorphisms, MatchMode};
+use contrarc_graph::DiGraph;
+use contrarc_milp::{Cmp, LinExpr, Model, Sense, SolveOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A layered assignment-like MILP of the shape the encoder produces.
+fn layered_milp(layers: usize, width: usize) -> Model {
+    let mut m = Model::new("layered");
+    let mut prev: Vec<_> = (0..width).map(|i| m.add_binary(format!("l0_{i}"))).collect();
+    let mut cost = LinExpr::new();
+    for l in 1..layers {
+        let cur: Vec<_> =
+            (0..width).map(|i| m.add_binary(format!("l{l}_{i}"))).collect();
+        // Flow-like coupling between consecutive layers.
+        let sum_prev = LinExpr::sum(prev.iter().copied());
+        let sum_cur = LinExpr::sum(cur.iter().copied());
+        m.add_constr(format!("link{l}"), sum_prev - sum_cur.clone(), Cmp::Eq, 0.0).unwrap();
+        m.add_constr(format!("min{l}"), sum_cur, Cmp::Ge, 1.0).unwrap();
+        for (i, &v) in cur.iter().enumerate() {
+            cost.add_term(v, 1.0 + (i as f64) * 0.37 + (l as f64) * 0.11);
+        }
+        prev = cur;
+    }
+    m.set_objective(Sense::Minimize, cost);
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    for (layers, width) in [(4, 6), (8, 10), (12, 16)] {
+        let model = layered_milp(layers, width);
+        group.bench_function(format!("bb/{layers}x{width}"), |b| {
+            b.iter(|| {
+                let out = model.solve(&SolveOptions::default()).unwrap();
+                black_box(out.is_feasible())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn grid_graph(rows: usize, cols: usize) -> DiGraph<u8, ()> {
+    let mut g = DiGraph::new();
+    let ids: Vec<Vec<_>> = (0..rows)
+        .map(|r| (0..cols).map(|_| g.add_node((r % 3) as u8)).collect())
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(ids[r][c], ids[r][c + 1], ());
+            }
+            if r + 1 < rows {
+                g.add_edge(ids[r][c], ids[r + 1][c], ());
+            }
+        }
+    }
+    g
+}
+
+fn bench_iso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iso");
+    let path3 = {
+        let mut g = DiGraph::new();
+        let a = g.add_node(0u8);
+        let b = g.add_node(1u8);
+        let d = g.add_node(2u8);
+        g.add_edge(a, b, ());
+        g.add_edge(b, d, ());
+        g
+    };
+    for (rows, cols) in [(4, 4), (6, 6), (8, 8)] {
+        let target = grid_graph(rows, cols);
+        group.bench_function(format!("path3-in-grid/{rows}x{cols}"), |b| {
+            b.iter(|| {
+                let found = subgraph_isomorphisms(
+                    black_box(&path3),
+                    black_box(&target),
+                    MatchMode::Monomorphism,
+                    |a, t| a == t,
+                );
+                black_box(found.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp, bench_iso);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches behind Table II: EPN exploration under the three
+//! ablation modes on small fixed configurations.
+
+use contrarc::{explore, ExplorerConfig};
+use contrarc_systems::epn::{build, EpnConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (l, r, a) in [(1, 0, 0), (1, 1, 0), (1, 1, 1)] {
+        let config = EpnConfig::table2(l, r, a);
+        let problem = build(&config);
+        let modes: [(&str, ExplorerConfig); 3] = [
+            ("only_iso", ExplorerConfig::only_iso()),
+            ("only_dec", ExplorerConfig::only_decomposition()),
+            ("complete", ExplorerConfig::complete()),
+        ];
+        for (name, cfg) in modes {
+            // Iso-only exploration does not converge in bench-friendly time
+            // on two-sided templates (see Table II, where those cells exhaust
+            // their budget); bench it on the single-chain config only.
+            if name == "only_iso" && (r > 0 || a > 0) {
+                continue;
+            }
+            group.bench_function(format!("{name}/{}", config.label()), |b| {
+                b.iter(|| {
+                    let res = explore(black_box(&problem), &cfg).unwrap();
+                    black_box(res.stats().iterations)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

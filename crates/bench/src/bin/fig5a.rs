@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 5(a)** of the paper: RPL exploration runtime of
+//! ContrArc vs the ArchEx-style monolithic baseline as the problem size `n`
+//! grows (`n_A = n_B = n`).
+//!
+//! Usage: `cargo run --release -p contrarc-bench --bin fig5a [max_n]`
+
+use contrarc_bench::harness::{render_fig5a, run_fig5a};
+
+fn main() {
+    // `NAME 3` sweeps n = 1..=3; `NAME 2 3` runs n = 2..=3 only (chunked runs).
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("n arguments must be numbers"))
+        .collect();
+    let ns: Vec<usize> = match args.as_slice() {
+        [] => (1..=3).collect(),
+        [hi] => (1..=*hi).collect(),
+        [lo, hi] => (*lo..=*hi).collect(),
+        _ => panic!("usage: fig5 bin [max_n] | [from to]"),
+    };
+    println!("=== Fig. 5(a): runtime vs problem size (ContrArc vs ArchEx) ===\n");
+    let rows = run_fig5a(&ns);
+    println!("{}", render_fig5a(&rows));
+    println!("expected shape: ContrArc beats the baseline, gap grows with n;");
+    println!("both methods find architectures of identical cost.");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 5(b)** of the paper: RPL exploration runtime with and
+//! without the compositional (Comb B) decomposition as the problem size `n`
+//! grows.
+//!
+//! Usage: `cargo run --release -p contrarc-bench --bin fig5b [max_n]`
+
+use contrarc_bench::harness::{render_fig5b, run_fig5b};
+
+fn main() {
+    // `NAME 3` sweeps n = 1..=3; `NAME 2 3` runs n = 2..=3 only (chunked runs).
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("n arguments must be numbers"))
+        .collect();
+    let ns: Vec<usize> = match args.as_slice() {
+        [] => (1..=3).collect(),
+        [hi] => (1..=*hi).collect(),
+        [lo, hi] => (*lo..=*hi).collect(),
+        _ => panic!("usage: fig5 bin [max_n] | [from to]"),
+    };
+    println!("=== Fig. 5(b): monolithic vs compositional exploration ===\n");
+    let rows = run_fig5b(&ns);
+    println!("{}", render_fig5b(&rows));
+    println!("expected shape: compositional exploration wins, increasingly so with n.");
+}

@@ -1,0 +1,72 @@
+//! Diagnostic probe for exploration performance (not part of the paper).
+//! Usage: probe [lineA|both] [warm|cold] [iso|noiso] [comp|mono] [n]
+
+use contrarc::{Explorer, ExplorerConfig, Step};
+use contrarc_systems::rpl::{build, RplConfig, RplLines};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lines = if args.first().map(String::as_str) == Some("both") {
+        RplLines::Both
+    } else {
+        RplLines::LineA
+    };
+    let warm = args.get(1).map(String::as_str) == Some("warm");
+    let iso = args.get(2).map(String::as_str) != Some("noiso");
+    let comp = args.get(3).map(String::as_str) != Some("mono");
+    let n: usize = args.get(4).map_or(1, |s| s.parse().expect("n"));
+    let stages: usize = args.get(5).map_or(2, |s| s.parse().expect("stages"));
+
+    let mut rc = RplConfig::symmetric(n);
+    rc.stages = stages;
+    rc.max_latency = 13.0 * stages as f64 + 16.0;
+    let p = build(&rc, lines);
+    let mut cfg = ExplorerConfig::complete();
+    cfg.solve_options.warm_start = warm;
+    cfg.iso_pruning = iso;
+    cfg.compositional = comp;
+    if args.get(6).map(String::as_str) == Some("archex") {
+        let t0 = Instant::now();
+        let r = contrarc::baseline::solve_monolithic(
+            &p,
+            &contrarc_milp::SolveOptions::default().with_time_limit(120.0),
+        );
+        match r {
+            Ok(e) => eprintln!(
+                "ARCHEX {:?} in {:.2}s",
+                e.architecture().map(contrarc::Architecture::cost),
+                t0.elapsed().as_secs_f64()
+            ),
+            Err(err) => eprintln!("ARCHEX error after {:.2}s: {err}", t0.elapsed().as_secs_f64()),
+        }
+        return;
+    }
+    let mut ex = Explorer::new(&p, cfg).unwrap();
+    eprintln!("model: {} vars {} constraints", ex.stats().milp_vars, ex.stats().milp_constraints);
+    let t0 = Instant::now();
+    loop {
+        let it = Instant::now();
+        match ex.step().unwrap() {
+            Step::Pruned { candidate, violations, cuts_added } => {
+                eprintln!(
+                    "iter {:3}: {:6.2}s cost {:6.1} violations {} cuts+{} (total cuts {})",
+                    ex.stats().iterations,
+                    it.elapsed().as_secs_f64(),
+                    candidate.cost(),
+                    violations.len(),
+                    cuts_added,
+                    ex.stats().cuts_added,
+                );
+            }
+            Step::Optimal(a) => {
+                eprintln!("OPTIMAL {:.1} after {} iters, {:.2}s", a.cost(), ex.stats().iterations, t0.elapsed().as_secs_f64());
+                break;
+            }
+            Step::Infeasible => {
+                eprintln!("INFEASIBLE after {} iters, {:.2}s", ex.stats().iterations, t0.elapsed().as_secs_f64());
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table I** of the paper: the RPL template and library.
+//!
+//! Usage: `cargo run --release -p contrarc-bench --bin table1 [n_a n_b]`
+
+use contrarc_bench::harness::render_table1;
+use contrarc_systems::rpl::RplConfig;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("n_a n_b must be numbers"))
+        .collect();
+    let config = match args.as_slice() {
+        [] => RplConfig::default(),
+        [na, nb] => RplConfig { n_a: *na, n_b: *nb, ..RplConfig::default() },
+        _ => panic!("usage: table1 [n_a n_b]"),
+    };
+    println!("=== Table I: template and library for the RPL example ===\n");
+    println!("{}", render_table1(&config));
+}

@@ -1,0 +1,23 @@
+//! # contrarc-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ContrArc paper's evaluation (Section V):
+//!
+//! | artifact | binary | what it reproduces |
+//! |---|---|---|
+//! | Table I  | `table1` | the RPL template & library contents |
+//! | Fig. 5(a) | `fig5a` | RPL runtime: ContrArc vs the ArchEx-style baseline over `n` |
+//! | Fig. 5(b) | `fig5b` | RPL runtime: monolithic vs compositional (Comb B) over `n` |
+//! | Table II | `table2` | EPN size/time/iterations for the three ablation modes |
+//!
+//! Criterion benches (`fig5`, `table2`, `substrates`) wrap the same runners
+//! on fixed instances for statistically robust timing.
+//!
+//! Absolute numbers differ from the paper (our simplex-based MILP solver
+//! replaces Gurobi); the claims that must reproduce are the *relative*
+//! behaviours — see EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,313 @@
+//! Encoding predicates into MILP constraints.
+//!
+//! The encoder first normalizes to NNF, then walks the formula: conjunctions
+//! become plain constraint lists; disjunctions introduce selector binaries
+//! (`Σ y ≥ 1`) whose branches are encoded as big-M guarded constraints.
+//! Strict inequalities (which only arise from negation) are relaxed by a
+//! configurable ε margin, the standard finite-precision treatment.
+
+use crate::pred::{Atom, AtomCmp, Pred};
+use contrarc_milp::encode as menc;
+use contrarc_milp::{Cmp, Model, SolveError, VarId};
+
+/// Encoding parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodeOptions {
+    /// Margin used to encode strict inequalities: `a < b` becomes
+    /// `a ≤ b − eps`.
+    ///
+    /// The default (`1e-4`) sits two orders of magnitude above the solver's
+    /// feasibility tolerances so that big-M encodings cannot blur a strict
+    /// inequality into its closed complement. Quantities in contract
+    /// formulas are expected to be scaled to roughly `O(1)–O(10³)`.
+    pub eps: f64,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions { eps: 1e-4 }
+    }
+}
+
+/// Assert `pred` in `model`: add constraints satisfied exactly by the
+/// assignments where the predicate holds (up to big-M/ε precision).
+///
+/// `tag` prefixes generated constraint and selector names for diagnostics.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when a disjunctive branch mentions a
+/// variable without finite bounds (no sound big-M exists) or when the
+/// predicate mentions variables missing from `model`.
+pub fn assert_pred(
+    model: &mut Model,
+    pred: &Pred,
+    tag: &str,
+    opts: &EncodeOptions,
+) -> Result<(), SolveError> {
+    let nnf = pred.nnf();
+    let mut fresh = 0u32;
+    encode(model, &nnf, None, tag, &mut fresh, opts)
+}
+
+fn encode(
+    model: &mut Model,
+    pred: &Pred,
+    guard: Option<VarId>,
+    tag: &str,
+    fresh: &mut u32,
+    opts: &EncodeOptions,
+) -> Result<(), SolveError> {
+    match pred {
+        Pred::True => Ok(()),
+        Pred::False => {
+            match guard {
+                // Unconditionally false: 0 ≥ 1.
+                None => {
+                    model.add_constr(format!("{tag}.false"), contrarc_milp::LinExpr::new(), Cmp::Ge, 1.0)?;
+                }
+                // Guard must be off.
+                Some(g) => {
+                    model.add_constr(
+                        format!("{tag}.false"),
+                        contrarc_milp::LinExpr::var(g),
+                        Cmp::Le,
+                        0.0,
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        Pred::Atom(a) => encode_atom(model, a, guard, tag, fresh, opts),
+        Pred::And(children) => {
+            for c in children {
+                encode(model, c, guard, tag, fresh, opts)?;
+            }
+            Ok(())
+        }
+        Pred::Or(children) => {
+            let mut selectors = Vec::with_capacity(children.len());
+            for _ in children {
+                let y = model.add_binary(format!("{tag}.y{}", *fresh));
+                *fresh += 1;
+                selectors.push(y);
+            }
+            // At least one branch taken — relative to the guard if present.
+            let sum = contrarc_milp::LinExpr::sum(selectors.iter().copied());
+            match guard {
+                None => {
+                    model.add_constr(format!("{tag}.or{}", *fresh), sum, Cmp::Ge, 1.0)?;
+                }
+                Some(g) => {
+                    // Σy ≥ g.
+                    model.add_constr(
+                        format!("{tag}.or{}", *fresh),
+                        sum - contrarc_milp::LinExpr::var(g),
+                        Cmp::Ge,
+                        0.0,
+                    )?;
+                }
+            }
+            *fresh += 1;
+            for (y, c) in selectors.into_iter().zip(children) {
+                encode(model, c, Some(y), tag, fresh, opts)?;
+            }
+            Ok(())
+        }
+        Pred::Not(_) | Pred::Implies(_, _) => Err(SolveError::InvalidModel(
+            "encoder expects NNF input (assert_pred normalizes automatically)".into(),
+        )),
+    }
+}
+
+fn encode_atom(
+    model: &mut Model,
+    atom: &Atom,
+    guard: Option<VarId>,
+    tag: &str,
+    fresh: &mut u32,
+    opts: &EncodeOptions,
+) -> Result<(), SolveError> {
+    let name = format!("{tag}.a{}", *fresh);
+    *fresh += 1;
+    let (cmp, rhs) = match atom.cmp {
+        AtomCmp::Le => (Cmp::Le, atom.rhs),
+        AtomCmp::Ge => (Cmp::Ge, atom.rhs),
+        AtomCmp::Eq => (Cmp::Eq, atom.rhs),
+        AtomCmp::Lt => (Cmp::Le, atom.rhs - opts.eps),
+        AtomCmp::Gt => (Cmp::Ge, atom.rhs + opts.eps),
+    };
+    match guard {
+        None => {
+            model.add_constr(name, atom.expr.clone(), cmp, rhs)?;
+        }
+        Some(g) => match cmp {
+            Cmp::Le => {
+                menc::implies_le(model, name, g, atom.expr.clone(), rhs)?;
+            }
+            Cmp::Ge => {
+                menc::implies_ge(model, name, g, atom.expr.clone(), rhs)?;
+            }
+            Cmp::Eq => {
+                menc::implies_eq(model, name, g, atom.expr.clone(), rhs)?;
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::Vocabulary;
+    use contrarc_milp::{LinExpr, Sense, SolveOptions};
+
+    fn feasible(voc: &Vocabulary, pred: &Pred) -> bool {
+        let mut model = voc.instantiate("q").unwrap();
+        assert_pred(&mut model, pred, "p", &EncodeOptions::default()).unwrap();
+        model.solve(&SolveOptions::default()).unwrap().is_feasible()
+    }
+
+    #[test]
+    fn conjunction_feasibility() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        assert!(feasible(&voc, &Pred::le(1.0 * x, 5.0).and(Pred::ge(1.0 * x, 2.0))));
+        assert!(!feasible(&voc, &Pred::le(1.0 * x, 1.0).and(Pred::ge(1.0 * x, 2.0))));
+    }
+
+    #[test]
+    fn disjunction_feasibility() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        // (x ≤ -5) ∨ (x ≥ 8): only the right branch is possible.
+        let p = Pred::le(1.0 * x, -5.0).or(Pred::ge(1.0 * x, 8.0));
+        assert!(feasible(&voc, &p));
+        // Force the impossible side only.
+        let q = Pred::le(1.0 * x, -5.0).or(Pred::le(1.0 * x, -7.0));
+        assert!(!feasible(&voc, &q));
+    }
+
+    #[test]
+    fn negation_via_nnf() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        // ¬(2 ≤ x ≤ 5) is satisfiable in [0,10]…
+        let band = Pred::ge(1.0 * x, 2.0).and(Pred::le(1.0 * x, 5.0));
+        assert!(feasible(&voc, &band.clone().not()));
+        // …but ¬(0 ≤ x ≤ 10) is not.
+        let full = Pred::ge(1.0 * x, 0.0).and(Pred::le(1.0 * x, 10.0));
+        assert!(!feasible(&voc, &full.not()));
+    }
+
+    #[test]
+    fn strictness_margin_respected() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 1.0);
+        // ¬(x ≥ 0) = x < 0: infeasible within [0,1].
+        assert!(!feasible(&voc, &Pred::ge(1.0 * x, 0.0).not()));
+        // ¬(x ≥ 0.5) = x < 0.5: feasible.
+        assert!(feasible(&voc, &Pred::ge(1.0 * x, 0.5).not()));
+    }
+
+    #[test]
+    fn nested_or_inside_and() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        let y = voc.add_continuous("y", 0.0, 10.0);
+        // (x ≤ 1 ∨ x ≥ 9) ∧ (y = 5) ∧ (x + y ≤ 7) → x ≤ 1 branch forced.
+        let p = Pred::le(1.0 * x, 1.0)
+            .or(Pred::ge(1.0 * x, 9.0))
+            .and(Pred::eq(1.0 * y, 5.0))
+            .and(Pred::le(1.0 * x + 1.0 * y, 7.0));
+        let mut model = voc.instantiate("q").unwrap();
+        assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
+        model.set_objective(Sense::Maximize, LinExpr::var(x));
+        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!(sol.value(x) <= 1.0 + 1e-6);
+        assert!((sol.value(y) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nested_and_inside_or() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        let y = voc.add_continuous("y", 0.0, 10.0);
+        // (x ≥ 9 ∧ y ≥ 9) ∨ (x ≤ 1 ∧ y ≤ 1); minimize x + y → 0.
+        let p = Pred::ge(1.0 * x, 9.0)
+            .and(Pred::ge(1.0 * y, 9.0))
+            .or(Pred::le(1.0 * x, 1.0).and(Pred::le(1.0 * y, 1.0)));
+        let mut model = voc.instantiate("q").unwrap();
+        assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
+        model.set_objective(Sense::Minimize, x + y);
+        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!(sol.objective() <= 2.0 + 1e-6);
+        // And maximize → both at least 9 each.
+        let mut model = voc.instantiate("q2").unwrap();
+        assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
+        model.set_objective(Sense::Maximize, x + y);
+        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_disjunct_rejected() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, f64::INFINITY);
+        let p = Pred::le(1.0 * x, 1.0).or(Pred::le(1.0 * x, 2.0));
+        let mut model = voc.instantiate("q").unwrap();
+        let err = assert_pred(&mut model, &p, "p", &EncodeOptions::default());
+        assert!(err.is_err(), "guarded ≤ over an unbounded variable must be refused");
+    }
+
+    #[test]
+    fn false_and_true_literals() {
+        let mut voc = Vocabulary::new();
+        let _x = voc.add_continuous("x", 0.0, 1.0);
+        assert!(feasible(&voc, &Pred::True));
+        assert!(!feasible(&voc, &Pred::False));
+    }
+
+    #[test]
+    fn guarded_false_disables_branch() {
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 10.0);
+        // false ∨ (x ≥ 3): must take the right branch.
+        let p = Pred::False.or(Pred::ge(1.0 * x, 3.0));
+        let mut model = voc.instantiate("q").unwrap();
+        assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
+        model.set_objective(Sense::Minimize, LinExpr::var(x));
+        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_agrees_with_encoding_on_grid() {
+        // Property-style check: encoded feasibility == eval-satisfiability
+        // over a coarse grid for several formulas.
+        let mut voc = Vocabulary::new();
+        let x = voc.add_continuous("x", 0.0, 4.0);
+        let y = voc.add_continuous("y", 0.0, 4.0);
+        let formulas = vec![
+            Pred::le(1.0 * x + 1.0 * y, 3.0),
+            Pred::le(1.0 * x, 1.0).or(Pred::ge(1.0 * y, 3.5)),
+            Pred::eq(1.0 * x, 2.0).and(Pred::le(1.0 * y, 1.0)),
+            Pred::ge(1.0 * x, 1.0).implies(Pred::ge(1.0 * y, 2.0)),
+            Pred::le(1.0 * x, 3.0).and(Pred::ge(1.0 * x, 1.0)).not(),
+        ];
+        for p in formulas {
+            let mut sat_on_grid = false;
+            for xi in 0..=8 {
+                for yi in 0..=8 {
+                    if p.eval(&[xi as f64 * 0.5, yi as f64 * 0.5], 1e-9) {
+                        sat_on_grid = true;
+                    }
+                }
+            }
+            let enc = feasible(&voc, &p);
+            // Grid satisfiability implies encoded feasibility; the converse
+            // can fail only between grid points, which these formulas avoid.
+            assert_eq!(enc, sat_on_grid, "formula {p}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests of the contract algebra's laws, checked semantically by
+//! evaluating behaviours on a grid (no solver involved, so hundreds of cases
+//! stay fast).
+
+use contrarc_contracts::{Contract, Pred};
+use contrarc_milp::{LinExpr, VarId};
+use proptest::prelude::*;
+
+const DIM: usize = 2;
+
+/// A random atom over two variables with small integer coefficients.
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let atom = (
+        -3i32..=3,
+        -3i32..=3,
+        -6i32..=6,
+        prop_oneof![Just(0u8), Just(1), Just(2)],
+    )
+        .prop_map(|(a, b, r, op)| {
+            let x = VarId::from_index(0);
+            let y = VarId::from_index(1);
+            let e: LinExpr = f64::from(a) * x + f64::from(b) * y;
+            match op {
+                0 => Pred::le(e, f64::from(r)),
+                1 => Pred::ge(e, f64::from(r)),
+                _ => Pred::eq(e, f64::from(r)),
+            }
+        });
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Pred::not),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn arb_contract() -> impl Strategy<Value = (Pred, Pred)> {
+    (arb_pred(), arb_pred())
+}
+
+/// Evaluate on a small grid of behaviours.
+fn grid() -> Vec<[f64; DIM]> {
+    let mut pts = Vec::new();
+    for xi in -2..=2 {
+        for yi in -2..=2 {
+            pts.push([f64::from(xi) * 1.5, f64::from(yi) * 1.5]);
+        }
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Saturation is idempotent: sat(sat(C)) ≡ sat(C).
+    #[test]
+    fn saturation_idempotent((a, g) in arb_contract()) {
+        let c = Contract::new("c", a.clone(), g);
+        let sat1 = c.saturated_guarantees();
+        let c2 = Contract::new("c2", a, sat1.clone());
+        let sat2 = c2.saturated_guarantees();
+        for pt in grid() {
+            prop_assert_eq!(sat1.eval(&pt, 1e-9), sat2.eval(&pt, 1e-9));
+        }
+    }
+
+    /// Composition is commutative (semantically).
+    #[test]
+    fn composition_commutative((a1, g1) in arb_contract(), (a2, g2) in arb_contract()) {
+        let c1 = Contract::new("c1", a1, g1);
+        let c2 = Contract::new("c2", a2, g2);
+        let ab = c1.compose(&c2);
+        let ba = c2.compose(&c1);
+        for pt in grid() {
+            prop_assert_eq!(
+                ab.saturated_guarantees().eval(&pt, 1e-9),
+                ba.saturated_guarantees().eval(&pt, 1e-9)
+            );
+            prop_assert_eq!(
+                ab.assumptions().eval(&pt, 1e-9),
+                ba.assumptions().eval(&pt, 1e-9)
+            );
+        }
+    }
+
+    /// Flat n-ary composition agrees with folded binary composition.
+    #[test]
+    fn compose_all_matches_fold(
+        (a1, g1) in arb_contract(),
+        (a2, g2) in arb_contract(),
+        (a3, g3) in arb_contract(),
+    ) {
+        let c1 = Contract::new("c1", a1, g1);
+        let c2 = Contract::new("c2", a2, g2);
+        let c3 = Contract::new("c3", a3, g3);
+        let flat = Contract::compose_all([&c1, &c2, &c3]);
+        let folded = c1.compose(&c2).compose(&c3);
+        for pt in grid() {
+            prop_assert_eq!(
+                flat.saturated_guarantees().eval(&pt, 1e-9),
+                folded.saturated_guarantees().eval(&pt, 1e-9),
+                "guarantees differ at {:?}", pt
+            );
+            prop_assert_eq!(
+                flat.assumptions().eval(&pt, 1e-9),
+                folded.assumptions().eval(&pt, 1e-9),
+                "assumptions differ at {:?}", pt
+            );
+        }
+    }
+
+    /// Conjunction lower-bounds both viewpoints: any behaviour the
+    /// conjunction allows as implementation is allowed by both sides.
+    #[test]
+    fn conjunction_is_a_lower_bound((a1, g1) in arb_contract(), (a2, g2) in arb_contract()) {
+        let c1 = Contract::new("c1", a1, g1);
+        let c2 = Contract::new("c2", a2, g2);
+        let both = c1.conjoin(&c2);
+        for pt in grid() {
+            if both.allows_implementation(&pt, 1e-9) {
+                prop_assert!(c1.allows_implementation(&pt, 1e-9));
+                prop_assert!(c2.allows_implementation(&pt, 1e-9));
+            }
+        }
+    }
+
+    /// Composition with ⊤ (the identity) changes nothing semantically.
+    #[test]
+    fn top_is_composition_identity((a, g) in arb_contract()) {
+        let c = Contract::new("c", a, g);
+        let with_top = c.compose(&Contract::top("T"));
+        for pt in grid() {
+            prop_assert_eq!(
+                c.saturated_guarantees().eval(&pt, 1e-9),
+                with_top.saturated_guarantees().eval(&pt, 1e-9)
+            );
+        }
+    }
+
+    /// NNF preserves semantics for every generated predicate.
+    #[test]
+    fn nnf_semantics_preserved(p in arb_pred()) {
+        let n = p.nnf();
+        for pt in grid() {
+            prop_assert_eq!(p.eval(&pt, 1e-9), n.eval(&pt, 1e-9), "pred {} at {:?}", p, pt);
+        }
+    }
+
+    /// Double negation is semantically the identity.
+    #[test]
+    fn double_negation(p in arb_pred()) {
+        let nn = p.clone().not().not();
+        for pt in grid() {
+            prop_assert_eq!(p.eval(&pt, 1e-9), nn.eval(&pt, 1e-9));
+        }
+    }
+
+    /// De Morgan: ¬(p ∧ q) ≡ ¬p ∨ ¬q.
+    #[test]
+    fn de_morgan(p in arb_pred(), q in arb_pred()) {
+        let lhs = p.clone().and(q.clone()).not();
+        let rhs = p.not().or(q.not());
+        for pt in grid() {
+            prop_assert_eq!(lhs.eval(&pt, 1e-9), rhs.eval(&pt, 1e-9));
+        }
+    }
+}

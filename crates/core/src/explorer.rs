@@ -1,0 +1,568 @@
+//! The ContrArc exploration loop: Problems 2 → 3 → 4, iterated to the
+//! optimum.
+
+use crate::candidate::Architecture;
+use crate::certificate::{apply_cuts, CutConfig};
+use crate::encode::encode_problem2;
+use crate::problem::Problem;
+use crate::refinement::{check_candidate_all, RefinementConfig};
+use contrarc_contracts::{EncodeOptions, RefinementChecker};
+use contrarc_milp::{SolveError, SolveOptions};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of the exploration loop. The two booleans reproduce the
+/// paper's Table II ablations:
+///
+/// | paper mode                | `iso_pruning` | `compositional` |
+/// |---------------------------|---------------|-----------------|
+/// | "only subgraph isomorphism" | `true`      | `false`         |
+/// | "only decomposition"        | `false`     | `true`          |
+/// | "Complete"                  | `true`      | `true`          |
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerConfig {
+    /// Generalize each infeasibility certificate to every isomorphic
+    /// embedding (Algorithm 2). When off, only the violating candidate
+    /// sub-architecture itself is excluded per iteration.
+    pub iso_pruning: bool,
+    /// Check path-specific viewpoints per source→sink path (Algorithm 1).
+    pub compositional: bool,
+    /// Widen certificate cuts to the dominated implementation set `ℒ_g⁺`
+    /// (the `ImplementationSearch` step of Algorithm 2). Disabling this is
+    /// an extra ablation beyond the paper's two, useful for quantifying how
+    /// much of the pruning power comes from dominance versus isomorphism.
+    pub dominance_widening: bool,
+    /// Iteration cap for the lazy loop.
+    pub max_iterations: usize,
+    /// Optional wall-clock budget for the whole exploration.
+    pub time_limit_secs: Option<f64>,
+    /// MILP solver options (shared by candidate selection and refinement
+    /// queries).
+    pub solve_options: SolveOptions,
+    /// Cap on path enumeration during compositional checking.
+    pub max_paths: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            iso_pruning: true,
+            compositional: true,
+            dominance_widening: true,
+            max_iterations: 10_000,
+            time_limit_secs: None,
+            solve_options: SolveOptions::default(),
+            max_paths: 100_000,
+        }
+    }
+}
+
+impl ExplorerConfig {
+    /// The paper's "Complete" mode (both techniques on) — the default.
+    #[must_use]
+    pub fn complete() -> Self {
+        Self::default()
+    }
+
+    /// The paper's "only subgraph isomorphism" ablation.
+    #[must_use]
+    pub fn only_iso() -> Self {
+        ExplorerConfig { compositional: false, ..Self::default() }
+    }
+
+    /// The paper's "only decomposition" ablation.
+    #[must_use]
+    pub fn only_decomposition() -> Self {
+        ExplorerConfig { iso_pruning: false, ..Self::default() }
+    }
+}
+
+/// Statistics of one exploration run (the measurements behind Fig. 5 and
+/// Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExplorationStats {
+    /// Lazy-loop iterations (MILP solve + refinement check rounds).
+    pub iterations: usize,
+    /// Certificate cuts added across all iterations.
+    pub cuts_added: usize,
+    /// Variables in the initial Problem-2 MILP.
+    pub milp_vars: usize,
+    /// Constraints in the initial Problem-2 MILP.
+    pub milp_constraints: usize,
+    /// Seconds spent in candidate-selection MILP solves.
+    pub milp_time: f64,
+    /// Seconds spent in refinement checking.
+    pub refine_time: f64,
+    /// Seconds spent generating certificates.
+    pub cert_time: f64,
+    /// Total wall-clock seconds.
+    pub total_time: f64,
+}
+
+impl fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations, {} cuts, {:.3} s total ({:.3} milp / {:.3} refine / {:.3} cert)",
+            self.iterations,
+            self.cuts_added,
+            self.total_time,
+            self.milp_time,
+            self.refine_time,
+            self.cert_time
+        )
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exploration {
+    /// The optimal architecture satisfying all system-level contracts.
+    Optimal {
+        /// The selected architecture `ℳ`.
+        architecture: Architecture,
+        /// Run statistics.
+        stats: ExplorationStats,
+    },
+    /// No architecture satisfies the requirements.
+    Infeasible {
+        /// Run statistics.
+        stats: ExplorationStats,
+    },
+}
+
+impl Exploration {
+    /// Run statistics regardless of outcome.
+    #[must_use]
+    pub fn stats(&self) -> &ExplorationStats {
+        match self {
+            Exploration::Optimal { stats, .. } | Exploration::Infeasible { stats } => stats,
+        }
+    }
+
+    /// The optimal architecture, if one was found.
+    #[must_use]
+    pub fn architecture(&self) -> Option<&Architecture> {
+        match self {
+            Exploration::Optimal { architecture, .. } => Some(architecture),
+            Exploration::Infeasible { .. } => None,
+        }
+    }
+}
+
+/// Errors of the exploration loop.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// An underlying MILP/encoding failure.
+    Solve(SolveError),
+    /// The iteration cap was reached before convergence.
+    IterationLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The exploration's wall-clock budget was exhausted.
+    TimeLimit {
+        /// The configured budget in seconds.
+        limit_secs: f64,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Solve(e) => write!(f, "exploration failed: {e}"),
+            ExploreError::IterationLimit { limit } => {
+                write!(f, "exploration iteration limit of {limit} exceeded")
+            }
+            ExploreError::TimeLimit { limit_secs } => {
+                write!(f, "exploration time budget of {limit_secs} s exhausted")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Solve(e) => Some(e),
+            ExploreError::IterationLimit { .. } | ExploreError::TimeLimit { .. } => None,
+        }
+    }
+}
+
+impl From<SolveError> for ExploreError {
+    fn from(e: SolveError) -> Self {
+        ExploreError::Solve(e)
+    }
+}
+
+/// Run the ContrArc exploration: select candidates with the Problem-2 MILP,
+/// verify system contracts by refinement, prune with isomorphism
+/// certificates, and repeat until the candidate verifies (then it is the
+/// global optimum, since cuts only ever remove architectures that violate
+/// system-level contracts).
+///
+/// For step-by-step control (inspecting each candidate and its violations),
+/// use [`Explorer`] directly.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] on malformed problems, solver resource limits,
+/// or when `config.max_iterations` is exhausted.
+pub fn explore(problem: &Problem, config: &ExplorerConfig) -> Result<Exploration, ExploreError> {
+    Explorer::new(problem, config.clone())?.run()
+}
+
+/// What one exploration iteration produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// A candidate was selected but violated system contracts; cuts were
+    /// added and the loop should continue.
+    Pruned {
+        /// The rejected candidate.
+        candidate: Architecture,
+        /// The violations found (every violated path/viewpoint).
+        violations: Vec<crate::refinement::Violation>,
+        /// Certificate cuts added to the MILP.
+        cuts_added: usize,
+    },
+    /// The candidate satisfied every system contract: exploration is done
+    /// and this is the global optimum.
+    Optimal(Architecture),
+    /// The (cut-augmented) MILP is infeasible: no architecture satisfies the
+    /// requirements.
+    Infeasible,
+}
+
+/// The exploration loop as a resumable state machine.
+///
+/// Each [`Explorer::step`] runs one iteration of Problems 2 → 3 → 4 and
+/// reports what happened, which is the right granularity for debugging
+/// libraries, visualizing the search, or interleaving exploration with other
+/// work. [`Explorer::run`] drives it to completion (what [`explore`] does).
+///
+/// ```rust,no_run
+/// # use contrarc::{Explorer, ExplorerConfig, Problem, Step};
+/// # fn demo(problem: &Problem) -> Result<(), contrarc::ExploreError> {
+/// let mut explorer = Explorer::new(problem, ExplorerConfig::complete())?;
+/// loop {
+///     match explorer.step()? {
+///         Step::Pruned { candidate, violations, .. } => {
+///             eprintln!("rejected cost {}: {} violations", candidate.cost(), violations.len());
+///         }
+///         Step::Optimal(arch) => { eprintln!("optimum: {}", arch.cost()); break; }
+///         Step::Infeasible => { eprintln!("infeasible"); break; }
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Explorer<'p> {
+    problem: &'p Problem,
+    config: ExplorerConfig,
+    enc: crate::encode::Encoding,
+    checker: RefinementChecker,
+    ref_config: RefinementConfig,
+    stats: ExplorationStats,
+    cut_seq: u32,
+    cost_floor: Option<f64>,
+    start: Instant,
+    finished: bool,
+}
+
+impl<'p> Explorer<'p> {
+    /// Encode the problem and prepare the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Solve`] when the problem fails validation.
+    pub fn new(problem: &'p Problem, config: ExplorerConfig) -> Result<Self, ExploreError> {
+        let enc = encode_problem2(problem)?;
+        let model_stats = enc.model.stats();
+        let stats = ExplorationStats {
+            milp_vars: model_stats.num_vars,
+            milp_constraints: model_stats.num_constraints,
+            ..ExplorationStats::default()
+        };
+        let checker = RefinementChecker::with_options(
+            config.solve_options.clone(),
+            EncodeOptions::default(),
+        );
+        let ref_config = RefinementConfig {
+            compositional: config.compositional,
+            max_paths: config.max_paths,
+        };
+        Ok(Explorer {
+            problem,
+            config,
+            enc,
+            checker,
+            ref_config,
+            stats,
+            cut_seq: 0,
+            cost_floor: None,
+            start: Instant::now(),
+            finished: false,
+        })
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ExplorationStats {
+        &self.stats
+    }
+
+    /// Run one iteration of the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] on solver failures or exhausted
+    /// iteration/time budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called again after a terminal step ([`Step::Optimal`] or
+    /// [`Step::Infeasible`]).
+    pub fn step(&mut self) -> Result<Step, ExploreError> {
+        assert!(!self.finished, "exploration already finished");
+        if self.stats.iterations >= self.config.max_iterations {
+            return Err(ExploreError::IterationLimit { limit: self.config.max_iterations });
+        }
+        if let Some(limit) = self.config.time_limit_secs {
+            if self.start.elapsed().as_secs_f64() > limit {
+                return Err(ExploreError::TimeLimit { limit_secs: limit });
+            }
+        }
+        self.stats.iterations += 1;
+
+        // Problem 2: candidate selection. The optimum is nondecreasing
+        // across iterations (cuts only remove solutions), so the previous
+        // cost is a proven objective floor that lets branch-and-bound stop
+        // at the first matching incumbent.
+        let t0 = Instant::now();
+        let mut solve_options = self.config.solve_options.clone();
+        solve_options.objective_floor = self.cost_floor;
+        let outcome = self.enc.model.solve(&solve_options)?;
+        self.stats.milp_time += t0.elapsed().as_secs_f64();
+
+        let Some(solution) = outcome.solution() else {
+            self.stats.total_time = self.start.elapsed().as_secs_f64();
+            self.finished = true;
+            return Ok(Step::Infeasible);
+        };
+        self.cost_floor = Some(solution.objective());
+        let arch = Architecture::decode(self.problem, &self.enc, solution);
+
+        // Problem 3: refinement verification.
+        let t1 = Instant::now();
+        let violations =
+            check_candidate_all(self.problem, &arch, &self.ref_config, &self.checker)?;
+        self.stats.refine_time += t1.elapsed().as_secs_f64();
+
+        if violations.is_empty() {
+            self.stats.total_time = self.start.elapsed().as_secs_f64();
+            self.finished = true;
+            return Ok(Step::Optimal(arch));
+        }
+
+        // Problem 4: certificate generation.
+        let t2 = Instant::now();
+        let cut_config = CutConfig {
+            iso_pruning: self.config.iso_pruning,
+            dominance_widening: self.config.dominance_widening,
+        };
+        let mut added = 0;
+        for v in &violations {
+            added +=
+                apply_cuts(self.problem, &mut self.enc, &arch, v, &cut_config, &mut self.cut_seq)?;
+        }
+        self.stats.cert_time += t2.elapsed().as_secs_f64();
+        self.stats.cuts_added += added;
+        debug_assert!(added > 0, "certificate generation must make progress");
+        Ok(Step::Pruned { candidate: arch, violations, cuts_added: added })
+    }
+
+    /// Drive the loop to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] on solver failures or exhausted budgets.
+    pub fn run(mut self) -> Result<Exploration, ExploreError> {
+        loop {
+            match self.step()? {
+                Step::Pruned { .. } => {}
+                Step::Optimal(architecture) => {
+                    return Ok(Exploration::Optimal { architecture, stats: self.stats });
+                }
+                Step::Infeasible => {
+                    return Ok(Exploration::Infeasible { stats: self.stats });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{Attrs, COST, FLOW_CONS, FLOW_GEN, LATENCY, THROUGHPUT};
+    use crate::problem::{FlowSpec, SystemSpec, TimingSpec};
+    use crate::template::{Template, TypeConfig};
+    use crate::Library;
+
+    /// Two parallel lines; cheap machines are too slow for the latency
+    /// budget, forcing at least one pruning iteration.
+    fn lines_problem(max_latency: f64) -> Problem {
+        let mut t = Template::new("two");
+        let src_t = t.add_type("src", TypeConfig::source());
+        let mach_t = t.add_type("mach", TypeConfig::bounded(2, 2));
+        let sink_t = t.add_type("sink", TypeConfig::sink());
+        for side in ["A", "B"] {
+            let s = t.add_node(format!("S{side}"), src_t);
+            let m = t.add_node(format!("M{side}"), mach_t);
+            let k = t.add_required_node(format!("K{side}"), sink_t);
+            t.add_candidate_edge(s, m);
+            t.add_candidate_edge(m, k);
+        }
+        let mut lib = Library::new();
+        lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0));
+        lib.add(
+            "M_slow",
+            mach_t,
+            Attrs::new().with(COST, 1.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+        );
+        lib.add(
+            "M_mid",
+            mach_t,
+            Attrs::new().with(COST, 3.0).with(THROUGHPUT, 20.0).with(LATENCY, 12.0),
+        );
+        lib.add(
+            "M_fast",
+            mach_t,
+            Attrs::new().with(COST, 6.0).with(THROUGHPUT, 20.0).with(LATENCY, 2.0),
+        );
+        lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0));
+        let spec = SystemSpec {
+            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            timing: Some(TimingSpec {
+                max_latency,
+                max_input_jitter: 1.0,
+                max_output_jitter: 1.0,
+            }),
+            flow_cap: 100.0,
+            horizon: 1000.0,
+        };
+        Problem::new(t, lib, spec)
+    }
+
+    #[test]
+    fn converges_to_feasible_optimum() {
+        // Budget 15 admits M_mid (1+12+1 = 14) but not M_slow (32).
+        let p = lines_problem(15.0);
+        let result = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let arch = result.architecture().expect("optimal expected");
+        // Expected: S + M_mid + K per line = (1+3+1)*2 = 10.
+        assert!((arch.cost() - 10.0).abs() < 1e-6, "cost {}", arch.cost());
+        assert!(result.stats().iterations >= 2, "must iterate past the slow candidate");
+    }
+
+    #[test]
+    fn no_iterations_needed_when_first_candidate_valid() {
+        let p = lines_problem(50.0);
+        let result = explore(&p, &ExplorerConfig::complete()).unwrap();
+        assert_eq!(result.stats().iterations, 1);
+        assert_eq!(result.stats().cuts_added, 0);
+        // Cheapest machines fine: (1+1+1)*2 = 6.
+        assert!((result.architecture().unwrap().cost() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_no_impl_fast_enough() {
+        // Even M_fast (1+2+1 = 4) cannot meet a bound of 3.
+        let p = lines_problem(3.0);
+        let result = explore(&p, &ExplorerConfig::complete()).unwrap();
+        assert!(matches!(result, Exploration::Infeasible { .. }));
+    }
+
+    #[test]
+    fn all_three_modes_agree_on_cost() {
+        let p = lines_problem(15.0);
+        let complete = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let only_iso = explore(&p, &ExplorerConfig::only_iso()).unwrap();
+        let only_dec = explore(&p, &ExplorerConfig::only_decomposition()).unwrap();
+        let c = complete.architecture().unwrap().cost();
+        assert!((only_iso.architecture().unwrap().cost() - c).abs() < 1e-6);
+        assert!((only_dec.architecture().unwrap().cost() - c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iso_pruning_reduces_iterations() {
+        let p = lines_problem(15.0);
+        let complete = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let only_dec = explore(&p, &ExplorerConfig::only_decomposition()).unwrap();
+        assert!(
+            complete.stats().iterations <= only_dec.stats().iterations,
+            "iso pruning must not need more iterations ({} vs {})",
+            complete.stats().iterations,
+            only_dec.stats().iterations
+        );
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let p = lines_problem(15.0);
+        let config = ExplorerConfig { max_iterations: 1, ..ExplorerConfig::complete() };
+        let err = explore(&p, &config).unwrap_err();
+        assert!(matches!(err, ExploreError::IterationLimit { limit: 1 }));
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn stepwise_explorer_matches_batch() {
+        let p = lines_problem(15.0);
+        let batch = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let mut explorer = Explorer::new(&p, ExplorerConfig::complete()).unwrap();
+        let mut pruned_steps = 0;
+        let optimum = loop {
+            match explorer.step().unwrap() {
+                Step::Pruned { violations, cuts_added, .. } => {
+                    assert!(!violations.is_empty());
+                    assert!(cuts_added > 0);
+                    pruned_steps += 1;
+                }
+                Step::Optimal(arch) => break arch,
+                Step::Infeasible => panic!("expected feasible"),
+            }
+        };
+        assert!((optimum.cost() - batch.architecture().unwrap().cost()).abs() < 1e-6);
+        assert_eq!(pruned_steps + 1, batch.stats().iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn step_after_finish_panics() {
+        let p = lines_problem(50.0);
+        let mut explorer = Explorer::new(&p, ExplorerConfig::complete()).unwrap();
+        loop {
+            match explorer.step().unwrap() {
+                Step::Pruned { .. } => {}
+                _ => break,
+            }
+        }
+        let _ = explorer.step();
+    }
+
+    #[test]
+    fn stats_display() {
+        let p = lines_problem(50.0);
+        let result = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let text = result.stats().to_string();
+        assert!(text.contains("iterations"));
+        assert!(result.stats().milp_vars > 0);
+        assert!(result.stats().milp_constraints > 0);
+    }
+}

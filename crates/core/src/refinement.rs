@@ -1,0 +1,316 @@
+//! Problem 3 / Algorithm 1: (compositional) contract refinement verification
+//! of a candidate architecture against the system-level contracts.
+
+use crate::candidate::Architecture;
+use crate::gen::{build_flow_model, build_timing_model, CheckModel};
+use crate::problem::Problem;
+use crate::viewpoint::Viewpoint;
+use contrarc_contracts::RefinementChecker;
+use contrarc_graph::paths::all_simple_paths;
+use contrarc_graph::NodeId;
+use contrarc_milp::SolveError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The invalid sub-architecture `𝒢_map` a failed refinement identifies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationScope {
+    /// A single source→sink path (architecture node ids, in path order).
+    Path(Vec<NodeId>),
+    /// The whole candidate architecture (`𝒢_map = 𝒜_map`).
+    Whole,
+}
+
+/// A refinement failure: the violated viewpoint `d_v` plus the invalid
+/// sub-architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The viewpoint whose system contract is not refined.
+    pub viewpoint: Viewpoint,
+    /// The invalid sub-architecture.
+    pub scope: ViolationScope,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.scope {
+            ViolationScope::Path(nodes) => {
+                write!(f, "{} violated on a {}-node path", self.viewpoint, nodes.len())
+            }
+            ViolationScope::Whole => {
+                write!(f, "{} violated on the whole architecture", self.viewpoint)
+            }
+        }
+    }
+}
+
+/// Options for refinement checking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementConfig {
+    /// Check path-specific viewpoints per source→sink path (Algorithm 1). If
+    /// `false`, every viewpoint is checked monolithically on the whole
+    /// architecture.
+    pub compositional: bool,
+    /// Cap on path enumeration (safety valve).
+    pub max_paths: usize,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig { compositional: true, max_paths: 100_000 }
+    }
+}
+
+/// Check a candidate architecture against every active system contract.
+/// Returns the first violation found, or `None` when all refinements hold
+/// (the candidate is the optimum).
+///
+/// # Errors
+///
+/// Propagates encoding/solver errors from the underlying refinement queries.
+pub fn check_candidate(
+    problem: &Problem,
+    arch: &Architecture,
+    config: &RefinementConfig,
+    checker: &RefinementChecker,
+) -> Result<Option<Violation>, SolveError> {
+    let found = check_candidate_inner(problem, arch, config, checker, true)?;
+    Ok(found.into_iter().next())
+}
+
+/// Like [`check_candidate`], but collect *every* violation (each violated
+/// path plus any whole-architecture failures) instead of stopping at the
+/// first. Cutting them all in one exploration iteration prunes faster while
+/// reaching the same optimum.
+///
+/// # Errors
+///
+/// Propagates encoding/solver errors from the underlying refinement queries.
+pub fn check_candidate_all(
+    problem: &Problem,
+    arch: &Architecture,
+    config: &RefinementConfig,
+    checker: &RefinementChecker,
+) -> Result<Vec<Violation>, SolveError> {
+    check_candidate_inner(problem, arch, config, checker, false)
+}
+
+fn check_candidate_inner(
+    problem: &Problem,
+    arch: &Architecture,
+    config: &RefinementConfig,
+    checker: &RefinementChecker,
+    stop_at_first: bool,
+) -> Result<Vec<Violation>, SolveError> {
+    let mut out = Vec::new();
+    // Path-specific viewpoints first (d_p), then whole-architecture (d_o),
+    // mirroring Algorithm 1.
+    for vp in problem.spec.active_viewpoints() {
+        match vp {
+            Viewpoint::Interconnection => {
+                // Structural constraints are enforced exactly by the MILP.
+            }
+            Viewpoint::Timing if config.compositional => {
+                let sources = arch.source_nodes(problem);
+                let sinks = arch.sink_nodes(problem);
+                let paths =
+                    all_simple_paths(arch.graph(), &sources, &sinks, config.max_paths);
+                for path in paths {
+                    let edges: Vec<(NodeId, NodeId)> =
+                        path.windows(2).map(|w| (w[0], w[1])).collect();
+                    let model = build_timing_model(
+                        problem,
+                        arch,
+                        &path,
+                        &edges,
+                        &path[..1],
+                        &path[path.len() - 1..],
+                    );
+                    if !refines(&model, checker)? {
+                        out.push(Violation {
+                            viewpoint: Viewpoint::Timing,
+                            scope: ViolationScope::Path(path),
+                        });
+                        if stop_at_first {
+                            return Ok(out);
+                        }
+                    }
+                }
+            }
+            Viewpoint::Timing => {
+                let nodes: Vec<NodeId> = arch.graph().node_ids().collect();
+                let edges: Vec<(NodeId, NodeId)> =
+                    arch.graph().edges().map(|e| (e.src, e.dst)).collect();
+                let sources = arch.source_nodes(problem);
+                let sinks = arch.sink_nodes(problem);
+                let model =
+                    build_timing_model(problem, arch, &nodes, &edges, &sources, &sinks);
+                if !refines(&model, checker)? {
+                    out.push(Violation {
+                        viewpoint: Viewpoint::Timing,
+                        scope: ViolationScope::Whole,
+                    });
+                    if stop_at_first {
+                        return Ok(out);
+                    }
+                }
+            }
+            Viewpoint::Flow => {
+                let model = build_flow_model(problem, arch);
+                if !refines(&model, checker)? {
+                    out.push(Violation {
+                        viewpoint: Viewpoint::Flow,
+                        scope: ViolationScope::Whole,
+                    });
+                    if stop_at_first {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn refines(model: &CheckModel, checker: &RefinementChecker) -> Result<bool, SolveError> {
+    let composition = model.composition();
+    let r = checker.check(&model.vocabulary, &composition, &model.system_contract)?;
+    Ok(r.holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{Attrs, COST, FLOW_CONS, FLOW_GEN, JITTER_OUT, LATENCY, THROUGHPUT};
+    use crate::encode::encode_problem2;
+    use crate::problem::{FlowSpec, SystemSpec, TimingSpec};
+    use crate::template::{Template, TypeConfig};
+    use crate::Library;
+    use contrarc_milp::SolveOptions;
+
+    /// Two parallel lines, the B line slower than the A line.
+    fn two_line_problem(max_latency: f64) -> (Problem, Architecture) {
+        let mut t = Template::new("two");
+        let src_t = t.add_type("src", TypeConfig::source());
+        let mach_t = t.add_type("mach", TypeConfig::bounded(2, 2));
+        let sink_t = t.add_type("sink", TypeConfig::sink());
+        let sa = t.add_node("SA", src_t);
+        let ma = t.add_node("MA", mach_t);
+        let ka = t.add_required_node("KA", sink_t);
+        let sb = t.add_node("SB", src_t);
+        let mb = t.add_node("MB", mach_t);
+        let kb = t.add_required_node("KB", sink_t);
+        t.add_candidate_edge(sa, ma);
+        t.add_candidate_edge(ma, ka);
+        t.add_candidate_edge(sb, mb);
+        t.add_candidate_edge(mb, kb);
+
+        let mut lib = Library::new();
+        lib.add(
+            "S",
+            src_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0),
+        );
+        // Single machine impl with latency 12 — the B path (2 machines deep
+        // below) stays fine but tight bounds trip it.
+        lib.add(
+            "M",
+            mach_t,
+            Attrs::new()
+                .with(COST, 2.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 12.0)
+                .with(JITTER_OUT, 0.0),
+        );
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0),
+        );
+        let spec = SystemSpec {
+            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            timing: Some(TimingSpec {
+                max_latency,
+                max_input_jitter: 1.0,
+                max_output_jitter: 1.0,
+            }),
+            flow_cap: 100.0,
+            horizon: 1000.0,
+        };
+        let p = Problem::new(t, lib, spec);
+        let enc = encode_problem2(&p).unwrap();
+        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let arch = Architecture::decode(&p, &enc, &sol);
+        (p, arch)
+    }
+
+    #[test]
+    fn passes_when_bound_generous() {
+        let (p, arch) = two_line_problem(50.0);
+        let v = check_candidate(
+            &p,
+            &arch,
+            &RefinementConfig::default(),
+            &RefinementChecker::new(),
+        )
+        .unwrap();
+        assert!(v.is_none(), "unexpected violation: {v:?}");
+    }
+
+    #[test]
+    fn compositional_failure_reports_path() {
+        // Path latency = 1 + 12 + 1 = 14 > 10.
+        let (p, arch) = two_line_problem(10.0);
+        let v = check_candidate(
+            &p,
+            &arch,
+            &RefinementConfig::default(),
+            &RefinementChecker::new(),
+        )
+        .unwrap()
+        .expect("violation expected");
+        assert_eq!(v.viewpoint, Viewpoint::Timing);
+        match &v.scope {
+            ViolationScope::Path(nodes) => assert_eq!(nodes.len(), 3),
+            other => panic!("expected path scope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monolithic_failure_reports_whole() {
+        let (p, arch) = two_line_problem(10.0);
+        let cfg = RefinementConfig { compositional: false, ..RefinementConfig::default() };
+        let v = check_candidate(&p, &arch, &cfg, &RefinementChecker::new())
+            .unwrap()
+            .expect("violation expected");
+        assert_eq!(v.viewpoint, Viewpoint::Timing);
+        assert_eq!(v.scope, ViolationScope::Whole);
+    }
+
+    #[test]
+    fn flow_violation_detected_whole() {
+        let (mut p, arch) = two_line_problem(50.0);
+        // Two sources generate 20 total; cap supply at 15.
+        p.spec.flow = Some(FlowSpec { max_supply: 15.0, max_consumption: 100.0 });
+        let v = check_candidate(
+            &p,
+            &arch,
+            &RefinementConfig::default(),
+            &RefinementChecker::new(),
+        )
+        .unwrap()
+        .expect("violation expected");
+        assert_eq!(v.viewpoint, Viewpoint::Flow);
+        assert_eq!(v.scope, ViolationScope::Whole);
+        assert!(v.to_string().contains("whole"));
+    }
+
+    #[test]
+    fn violation_display_path() {
+        let v = Violation {
+            viewpoint: Viewpoint::Timing,
+            scope: ViolationScope::Path(vec![NodeId::from_index(0)]),
+        };
+        assert!(v.to_string().contains("1-node path"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz (DOT) rendering of directed graphs.
+
+use crate::digraph::{DiGraph, EdgeRef, NodeId};
+use std::fmt::Write as _;
+
+/// Render a graph in Graphviz DOT syntax, labeling nodes and edges with the
+/// provided closures.
+///
+/// ```rust
+/// use contrarc_graph::{DiGraph, dot::to_dot};
+/// let mut g = DiGraph::new();
+/// let a = g.add_node("src");
+/// let b = g.add_node("sink");
+/// g.add_edge(a, b, 2.5);
+/// let text = to_dot(&g, "system", |_, w| (*w).to_string(), |e| format!("{}", e.weight));
+/// assert!(text.contains("digraph system"));
+/// assert!(text.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N, E, FN, FE>(
+    graph: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: FN,
+    mut edge_label: FE,
+) -> String
+where
+    FN: FnMut(NodeId, &N) -> String,
+    FE: FnMut(EdgeRef<'_, E>) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, w) in graph.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", id.index(), escape(&node_label(id, w)));
+    }
+    for e in graph.edges() {
+        let label = edge_label(e);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", e.src.index(), e.dst.index());
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.src.index(),
+                e.dst.index(),
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1u8);
+        let b = g.add_node(2u8);
+        g.add_edge(a, b, "x");
+        let dot = to_dot(&g, "t", |_, w| format!("v{w}"), |e| (*e.weight).to_string());
+        assert!(dot.contains("digraph t {"));
+        assert!(dot.contains("n0 [label=\"v1\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"x\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_labels_render_bare_edges() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let dot = to_dot(&g, "t", |_, ()| String::new(), |_| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn names_and_labels_sanitized() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "bad name!", |_, w| (*w).to_string(), |_| String::new());
+        assert!(dot.contains("digraph bad_name_ {"));
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+}

@@ -1,0 +1,506 @@
+//! VF2-style subgraph isomorphism: enumerate all embeddings of a pattern
+//! graph in a target graph.
+//!
+//! Two matching semantics are offered:
+//!
+//! * [`MatchMode::Monomorphism`] — every pattern edge must map to a target
+//!   edge (extra target edges between mapped nodes are allowed). This is the
+//!   semantics Algorithm 2 of the paper needs: an invalid *path* is also
+//!   invalid when it occurs inside a denser architecture.
+//! * [`MatchMode::Induced`] — additionally, target edges between mapped
+//!   nodes must exist in the pattern (classical induced subgraph
+//!   isomorphism, Definition 4 of the paper).
+//!
+//! Node compatibility is a caller-supplied predicate, used by ContrArc to
+//! require equal component *types*.
+
+use crate::digraph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Matching semantics for [`subgraph_isomorphisms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchMode {
+    /// Pattern edges must exist in the target; extra target edges are fine.
+    Monomorphism,
+    /// Exact induced matching: edges and non-edges must agree.
+    Induced,
+}
+
+/// An injective mapping from pattern nodes to target nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Embedding {
+    map: Vec<NodeId>,
+}
+
+impl Embedding {
+    /// Build an embedding from an explicit mapping (`map[i]` is the target
+    /// node of pattern node `i`). Used for the identity embedding when
+    /// isomorphism enumeration is disabled; the caller is responsible for
+    /// validity.
+    #[must_use]
+    pub fn from_mapping(map: Vec<NodeId>) -> Self {
+        Embedding { map }
+    }
+
+    /// Target node that the pattern node `p` maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a node of the pattern this embedding was found
+    /// for.
+    #[must_use]
+    pub fn target(&self, p: NodeId) -> NodeId {
+        self.map[p.index()]
+    }
+
+    /// The full mapping, indexed by pattern-node index.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.map
+    }
+
+    /// Iterate over `(pattern, target)` node pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.map.iter().enumerate().map(|(i, &t)| (NodeId::from_index(i), t))
+    }
+}
+
+impl fmt::Display for Embedding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (p, t)) in self.pairs().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}→{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Enumerate all subgraph-isomorphic embeddings of `pattern` in `target`.
+///
+/// `compat(p_weight, t_weight)` decides whether a pattern node may map to a
+/// target node (ContrArc passes type equality). See [`MatchMode`] for edge
+/// semantics. Embeddings that differ only by which pattern node maps where
+/// within a symmetric pattern are reported separately, matching the behaviour
+/// of DotMotif used in the paper.
+#[must_use]
+pub fn subgraph_isomorphisms<N1, E1, N2, E2, F>(
+    pattern: &DiGraph<N1, E1>,
+    target: &DiGraph<N2, E2>,
+    mode: MatchMode,
+    compat: F,
+) -> Vec<Embedding>
+where
+    F: Fn(&N1, &N2) -> bool,
+{
+    let np = pattern.num_nodes();
+    if np == 0 {
+        return vec![Embedding { map: Vec::new() }];
+    }
+    if np > target.num_nodes() {
+        return Vec::new();
+    }
+
+    let order = matching_order(pattern);
+    let mut state = State {
+        pattern,
+        target,
+        mode,
+        compat: &compat,
+        order: &order,
+        map: vec![None; np],
+        used: vec![false; target.num_nodes()],
+        out: Vec::new(),
+    };
+    state.extend(0);
+    state.out
+}
+
+/// Whether `pattern` and `target` are isomorphic as directed graphs
+/// (same node count, same edge count, and an induced embedding exists).
+#[must_use]
+pub fn is_isomorphic<N1, E1, N2, E2, F>(
+    a: &DiGraph<N1, E1>,
+    b: &DiGraph<N2, E2>,
+    compat: F,
+) -> bool
+where
+    F: Fn(&N1, &N2) -> bool,
+{
+    a.num_nodes() == b.num_nodes()
+        && a.num_edges() == b.num_edges()
+        && first_isomorphism(a, b, MatchMode::Induced, compat).is_some()
+}
+
+/// Find one embedding (or `None`); cheaper than enumerating all of them.
+#[must_use]
+pub fn first_isomorphism<N1, E1, N2, E2, F>(
+    pattern: &DiGraph<N1, E1>,
+    target: &DiGraph<N2, E2>,
+    mode: MatchMode,
+    compat: F,
+) -> Option<Embedding>
+where
+    F: Fn(&N1, &N2) -> bool,
+{
+    let np = pattern.num_nodes();
+    if np == 0 {
+        return Some(Embedding { map: Vec::new() });
+    }
+    if np > target.num_nodes() {
+        return None;
+    }
+    let order = matching_order(pattern);
+    let mut state = State {
+        pattern,
+        target,
+        mode,
+        compat: &compat,
+        order: &order,
+        map: vec![None; np],
+        used: vec![false; target.num_nodes()],
+        out: Vec::new(),
+    };
+    state.extend_first(0);
+    state.out.into_iter().next()
+}
+
+/// Order pattern nodes so each node (after the first) touches an
+/// already-ordered node where possible — the key to early pruning.
+fn matching_order<N, E>(pattern: &DiGraph<N, E>) -> Vec<NodeId> {
+    let n = pattern.num_nodes();
+    let degree = |v: NodeId| pattern.in_degree(v) + pattern.out_degree(v);
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        // Seed: highest-degree unplaced node.
+        let seed = (0..n)
+            .map(NodeId::from_index)
+            .filter(|v| !placed[v.index()])
+            .max_by_key(|&v| degree(v))
+            .expect("unplaced node exists");
+        placed[seed.index()] = true;
+        order.push(seed);
+        // Grow by connectivity (BFS over both edge directions).
+        let mut frontier = vec![seed];
+        while let Some(v) = frontier.pop() {
+            let mut nbrs: Vec<NodeId> = pattern
+                .successors(v)
+                .chain(pattern.predecessors(v))
+                .filter(|u| !placed[u.index()])
+                .collect();
+            nbrs.sort_by_key(|&u| std::cmp::Reverse(degree(u)));
+            for u in nbrs {
+                if !placed[u.index()] {
+                    placed[u.index()] = true;
+                    order.push(u);
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+struct State<'a, N1, E1, N2, E2, F> {
+    pattern: &'a DiGraph<N1, E1>,
+    target: &'a DiGraph<N2, E2>,
+    mode: MatchMode,
+    compat: &'a F,
+    order: &'a [NodeId],
+    map: Vec<Option<NodeId>>,
+    used: Vec<bool>,
+    out: Vec<Embedding>,
+}
+
+impl<N1, E1, N2, E2, F> State<'_, N1, E1, N2, E2, F>
+where
+    F: Fn(&N1, &N2) -> bool,
+{
+    fn extend(&mut self, depth: usize) {
+        if depth == self.order.len() {
+            self.record();
+            return;
+        }
+        let p = self.order[depth];
+        let candidates = self.candidates(p);
+        for t in candidates {
+            if self.feasible(p, t) {
+                self.map[p.index()] = Some(t);
+                self.used[t.index()] = true;
+                self.extend(depth + 1);
+                self.map[p.index()] = None;
+                self.used[t.index()] = false;
+            }
+        }
+    }
+
+    fn extend_first(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            self.record();
+            return true;
+        }
+        let p = self.order[depth];
+        let candidates = self.candidates(p);
+        for t in candidates {
+            if self.feasible(p, t) {
+                self.map[p.index()] = Some(t);
+                self.used[t.index()] = true;
+                if self.extend_first(depth + 1) {
+                    return true;
+                }
+                self.map[p.index()] = None;
+                self.used[t.index()] = false;
+            }
+        }
+        false
+    }
+
+    fn record(&mut self) {
+        let map = self.map.iter().map(|m| m.expect("complete mapping")).collect();
+        self.out.push(Embedding { map });
+    }
+
+    /// Candidate target nodes for pattern node `p`: neighbors of an
+    /// already-mapped neighbor when one exists, otherwise all target nodes.
+    fn candidates(&self, p: NodeId) -> Vec<NodeId> {
+        // A mapped pattern predecessor constrains candidates to successors of
+        // its image (and symmetrically).
+        for e in self.pattern.in_edges(p) {
+            if let Some(img) = self.map[e.src.index()] {
+                return self.target.successors(img).collect();
+            }
+        }
+        for e in self.pattern.out_edges(p) {
+            if let Some(img) = self.map[e.dst.index()] {
+                return self.target.predecessors(img).collect();
+            }
+        }
+        self.target.node_ids().collect()
+    }
+
+    fn feasible(&self, p: NodeId, t: NodeId) -> bool {
+        if self.used[t.index()] {
+            return false;
+        }
+        if !(self.compat)(self.pattern.node_weight(p), self.target.node_weight(t)) {
+            return false;
+        }
+        // Degree pruning (valid for both modes).
+        if self.pattern.out_degree(p) > self.target.out_degree(t)
+            || self.pattern.in_degree(p) > self.target.in_degree(t)
+        {
+            return false;
+        }
+        // Every pattern edge between p and a mapped node must exist in the
+        // target.
+        for e in self.pattern.out_edges(p) {
+            if let Some(img) = self.map[e.dst.index()] {
+                if !self.target.contains_edge(t, img) {
+                    return false;
+                }
+            }
+        }
+        for e in self.pattern.in_edges(p) {
+            if let Some(img) = self.map[e.src.index()] {
+                if !self.target.contains_edge(img, t) {
+                    return false;
+                }
+            }
+        }
+        if self.mode == MatchMode::Induced {
+            // Target edges between t and mapped images must exist in the
+            // pattern too.
+            for (q, img) in self.mapped_pairs() {
+                if self.target.contains_edge(t, img) && !self.pattern.contains_edge(p, q) {
+                    return false;
+                }
+                if self.target.contains_edge(img, t) && !self.pattern.contains_edge(q, p) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn mapped_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.map(|t| (NodeId::from_index(i), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(labels: &[&'static str]) -> DiGraph<&'static str, ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = labels.iter().map(|&l| g.add_node(l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    fn label_eq(a: &&str, b: &&str) -> bool {
+        a == b
+    }
+
+    #[test]
+    fn path_in_two_lines() {
+        let pat = path_graph(&["s", "m", "t"]);
+        let mut tgt = DiGraph::new();
+        let ids: Vec<_> = ["s", "m", "t", "s", "m", "t"].iter().map(|&l| tgt.add_node(l)).collect();
+        tgt.add_edge(ids[0], ids[1], ());
+        tgt.add_edge(ids[1], ids[2], ());
+        tgt.add_edge(ids[3], ids[4], ());
+        tgt.add_edge(ids[4], ids[5], ());
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn labels_prune_matches() {
+        let pat = path_graph(&["a", "b"]);
+        let tgt = path_graph(&["a", "c"]);
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let pat = path_graph(&["a", "b"]);
+        let mut tgt = DiGraph::new();
+        let a = tgt.add_node("a");
+        let b = tgt.add_node("b");
+        tgt.add_edge(b, a, ()); // reversed
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn monomorphism_allows_extra_target_edges() {
+        let pat = path_graph(&["a", "b"]);
+        let mut tgt = DiGraph::new();
+        let a = tgt.add_node("a");
+        let b = tgt.add_node("b");
+        tgt.add_edge(a, b, ());
+        tgt.add_edge(b, a, ()); // extra back-edge
+        let mono = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(mono.len(), 1);
+        let ind = subgraph_isomorphisms(&pat, &tgt, MatchMode::Induced, label_eq);
+        assert!(ind.is_empty(), "induced must reject the extra back-edge");
+    }
+
+    #[test]
+    fn triangle_symmetries_counted() {
+        // Directed 3-cycle pattern matched against itself: 3 rotations.
+        let mut pat: DiGraph<(), ()> = DiGraph::new();
+        let a = pat.add_node(());
+        let b = pat.add_node(());
+        let c = pat.add_node(());
+        pat.add_edge(a, b, ());
+        pat.add_edge(b, c, ());
+        pat.add_edge(c, a, ());
+        let found = subgraph_isomorphisms(&pat, &pat, MatchMode::Monomorphism, |_, _| true);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn empty_pattern_matches_once() {
+        let pat: DiGraph<(), ()> = DiGraph::new();
+        let tgt = path_graph(&["a"]);
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, |_, _: &&str| true);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].as_slice().is_empty());
+    }
+
+    #[test]
+    fn pattern_larger_than_target() {
+        let pat = path_graph(&["a", "b", "c"]);
+        let tgt = path_graph(&["a", "b"]);
+        assert!(subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq).is_empty());
+    }
+
+    #[test]
+    fn embedding_accessors() {
+        let pat = path_graph(&["a", "b"]);
+        let tgt = path_graph(&["a", "b"]);
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(found.len(), 1);
+        let emb = &found[0];
+        assert_eq!(emb.target(NodeId::from_index(0)).index(), 0);
+        assert_eq!(emb.pairs().count(), 2);
+        assert!(emb.to_string().contains("→"));
+    }
+
+    #[test]
+    fn is_isomorphic_checks_both_counts() {
+        let a = path_graph(&["x", "y"]);
+        let b = path_graph(&["x", "y"]);
+        assert!(is_isomorphic(&a, &b, label_eq));
+
+        let mut c = path_graph(&["x", "y"]);
+        c.add_node("z");
+        assert!(!is_isomorphic(&a, &c, label_eq), "different node counts");
+
+        let mut d = path_graph(&["x", "y"]);
+        let (n0, n1) = (NodeId::from_index(0), NodeId::from_index(1));
+        d.add_edge(n1, n0, ());
+        assert!(!is_isomorphic(&a, &d, label_eq), "different edge counts");
+    }
+
+    #[test]
+    fn first_isomorphism_short_circuits() {
+        let pat = path_graph(&["s", "m"]);
+        let mut tgt = DiGraph::new();
+        for _ in 0..4 {
+            let a = tgt.add_node("s");
+            let b = tgt.add_node("m");
+            tgt.add_edge(a, b, ());
+        }
+        let one = first_isomorphism(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert!(one.is_some());
+        let all = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_pattern_matches_product() {
+        // Pattern: two isolated "a" nodes. Target: three "a" nodes.
+        let mut pat: DiGraph<&str, ()> = DiGraph::new();
+        pat.add_node("a");
+        pat.add_node("a");
+        let mut tgt: DiGraph<&str, ()> = DiGraph::new();
+        for _ in 0..3 {
+            tgt.add_node("a");
+        }
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        // Injective maps from 2 slots into 3 nodes: 3·2 = 6.
+        assert_eq!(found.len(), 6);
+    }
+
+    #[test]
+    fn fan_pattern_in_fan_target() {
+        // Pattern: hub with 2 spokes. Target: hub with 3 spokes -> 3·2 = 6.
+        let mut pat: DiGraph<&str, ()> = DiGraph::new();
+        let hub = pat.add_node("h");
+        for _ in 0..2 {
+            let s = pat.add_node("s");
+            pat.add_edge(hub, s, ());
+        }
+        let mut tgt: DiGraph<&str, ()> = DiGraph::new();
+        let thub = tgt.add_node("h");
+        for _ in 0..3 {
+            let s = tgt.add_node("s");
+            tgt.add_edge(thub, s, ());
+        }
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(found.len(), 6);
+    }
+}

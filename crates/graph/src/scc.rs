@@ -1,0 +1,191 @@
+//! Strongly connected components (Tarjan's algorithm, iterative).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The strongly connected components of the graph, each a list of nodes, in
+/// reverse topological order of the condensation (a component appears before
+/// any component it has edges into... i.e. callees first).
+///
+/// ```rust
+/// use contrarc_graph::{DiGraph, scc::strongly_connected_components};
+/// let mut g = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ()); // {a, b} form a cycle
+/// g.add_edge(b, c, ());
+/// let comps = strongly_connected_components(&g);
+/// assert_eq!(comps.len(), 2);
+/// ```
+#[must_use]
+pub fn strongly_connected_components<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = graph.num_nodes();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan with an explicit work stack of (node, child-iterator
+    // position).
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, usize),
+    }
+    for start in (0..n).map(NodeId::from_index) {
+        if index[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(start)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v.index()] = next_index;
+                    lowlink[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, child_pos) => {
+                    let succs: Vec<NodeId> = graph.successors(v).collect();
+                    let mut advanced = false;
+                    for (k, &w) in succs.iter().enumerate().skip(child_pos) {
+                        if index[w.index()] == usize::MAX {
+                            work.push(Frame::Resume(v, k + 1));
+                            work.push(Frame::Enter(w));
+                            advanced = true;
+                            break;
+                        }
+                        if on_stack[w.index()] {
+                            lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    // All children processed: fold lowlinks of finished kids.
+                    for &w in &succs {
+                        if on_stack[w.index()] {
+                            lowlink[v.index()] = lowlink[v.index()].min(lowlink[w.index()]);
+                        }
+                    }
+                    if lowlink[v.index()] == index[v.index()] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w.index()] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Nodes that participate in some directed cycle (a component of size > 1,
+/// or a self-loop).
+#[must_use]
+pub fn cyclic_nodes<N, E>(graph: &DiGraph<N, E>) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for comp in strongly_connected_components(graph) {
+        if comp.len() > 1 {
+            out.extend(comp);
+        } else if let [only] = comp.as_slice() {
+            if graph.contains_edge(*only, *only) {
+                out.push(*only);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(nodes[0], nodes[1], ());
+        g.add_edge(nodes[1], nodes[2], ());
+        g.add_edge(nodes[2], nodes[3], ());
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert!(cyclic_nodes(&g).is_empty());
+    }
+
+    #[test]
+    fn one_big_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(nodes[i], nodes[(i + 1) % 5], ());
+        }
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+        assert_eq!(cyclic_nodes(&g).len(), 5);
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        // Cycle 1: 0↔1; cycle 2: 3→4→5→3; bridge 1→3; isolated-ish 2.
+        g.add_edge(nodes[0], nodes[1], ());
+        g.add_edge(nodes[1], nodes[0], ());
+        g.add_edge(nodes[1], nodes[3], ());
+        g.add_edge(nodes[3], nodes[4], ());
+        g.add_edge(nodes[4], nodes[5], ());
+        g.add_edge(nodes[5], nodes[3], ());
+        g.add_edge(nodes[2], nodes[0], ());
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = comps.iter().map(Vec::len).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(cyclic_nodes(&g).len(), 5);
+    }
+
+    #[test]
+    fn callees_come_first() {
+        // a → b: b's component must be emitted before a's.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps[0], vec![b]);
+        assert_eq!(comps[1], vec![a]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, ());
+        let _ = b;
+        assert_eq!(cyclic_nodes(&g), vec![a]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(strongly_connected_components(&g).is_empty());
+    }
+}

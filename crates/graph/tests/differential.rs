@@ -1,0 +1,140 @@
+//! Differential tests: our VF2 implementation vs `petgraph`'s, plus
+//! randomized property tests of the matching semantics.
+
+use contrarc_graph::iso::{first_isomorphism, subgraph_isomorphisms, MatchMode};
+use contrarc_graph::DiGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Build both our graph and the equivalent petgraph graph from an edge list.
+fn build_pair(
+    num_nodes: usize,
+    labels: &[u8],
+    edges: &[(usize, usize)],
+) -> (DiGraph<u8, ()>, petgraph::graph::DiGraph<u8, ()>) {
+    let mut ours = DiGraph::new();
+    let mut theirs = petgraph::graph::DiGraph::new();
+    let our_ids: Vec<_> = (0..num_nodes).map(|i| ours.add_node(labels[i])).collect();
+    let their_ids: Vec<_> = (0..num_nodes).map(|i| theirs.add_node(labels[i])).collect();
+    for &(a, b) in edges {
+        ours.add_edge(our_ids[a], our_ids[b], ());
+        theirs.add_edge(their_ids[a], their_ids[b], ());
+    }
+    (ours, theirs)
+}
+
+/// Random simple digraph (no self-loops, no parallel edges).
+fn random_graph(rng: &mut StdRng, n: usize, p: f64, num_labels: u8) -> (Vec<u8>, Vec<(usize, usize)>) {
+    let labels: Vec<u8> = (0..n).map(|_| rng.random_range(0..num_labels)).collect();
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && rng.random_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    (labels, edges)
+}
+
+/// `petgraph`'s subgraph isomorphism is *node-induced* (see its docs), so it
+/// is the comparator for our [`MatchMode::Induced`].
+fn petgraph_match_count(
+    pat: &petgraph::graph::DiGraph<u8, ()>,
+    tgt: &petgraph::graph::DiGraph<u8, ()>,
+) -> usize {
+    let mut nm = |a: &u8, b: &u8| a == b;
+    let mut em = |_: &(), _: &()| true;
+    petgraph::algo::subgraph_isomorphisms_iter(&pat, &tgt, &mut nm, &mut em)
+        .map(|it| it.count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn differential_induced_counts_match_petgraph() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for trial in 0..120 {
+        let np = rng.random_range(1..=4);
+        let nt = rng.random_range(1..=7);
+        let (pl, pe) = random_graph(&mut rng, np, 0.4, 2);
+        let (tl, te) = random_graph(&mut rng, nt, 0.35, 2);
+        let (our_pat, their_pat) = build_pair(pl.len(), &pl, &pe);
+        let (our_tgt, their_tgt) = build_pair(tl.len(), &tl, &te);
+
+        let ours =
+            subgraph_isomorphisms(&our_pat, &our_tgt, MatchMode::Induced, |a, b| a == b).len();
+        let theirs = petgraph_match_count(&their_pat, &their_tgt);
+        assert_eq!(
+            ours, theirs,
+            "trial {trial}: induced count mismatch (pattern {pe:?}, target {te:?})"
+        );
+    }
+}
+
+proptest! {
+    /// Every reported embedding is genuinely injective, label-compatible,
+    /// and edge-preserving.
+    #[test]
+    fn embeddings_are_valid(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let np = rng.random_range(1..=4);
+        let nt = rng.random_range(1..=6);
+        let (pl, pe) = random_graph(&mut rng, np, 0.5, 2);
+        let (tl, te) = random_graph(&mut rng, nt, 0.4, 2);
+        let (pat, _) = build_pair(pl.len(), &pl, &pe);
+        let (tgt, _) = build_pair(tl.len(), &tl, &te);
+
+        for emb in subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, |a, b| a == b) {
+            // Injectivity.
+            let mut seen = std::collections::HashSet::new();
+            for (_, t) in emb.pairs() {
+                prop_assert!(seen.insert(t), "non-injective embedding");
+            }
+            // Label compatibility.
+            for (p, t) in emb.pairs() {
+                prop_assert_eq!(pat.node_weight(p), tgt.node_weight(t));
+            }
+            // Edge preservation.
+            for e in pat.edges() {
+                prop_assert!(
+                    tgt.contains_edge(emb.target(e.src), emb.target(e.dst)),
+                    "pattern edge lost"
+                );
+            }
+        }
+    }
+
+    /// `first_isomorphism` agrees with full enumeration on existence.
+    #[test]
+    fn first_agrees_with_all(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+        let np = rng.random_range(1..=4);
+        let nt = rng.random_range(1..=6);
+        let (pl, pe) = random_graph(&mut rng, np, 0.5, 2);
+        let (tl, te) = random_graph(&mut rng, nt, 0.4, 2);
+        let (pat, _) = build_pair(pl.len(), &pl, &pe);
+        let (tgt, _) = build_pair(tl.len(), &tl, &te);
+        let all = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, |a, b| a == b);
+        let one = first_isomorphism(&pat, &tgt, MatchMode::Monomorphism, |a, b| a == b);
+        prop_assert_eq!(all.is_empty(), one.is_none());
+    }
+
+    /// Induced matches are a subset of monomorphism matches.
+    #[test]
+    fn induced_subset_of_mono(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31337));
+        let np = rng.random_range(1..=4);
+        let nt = rng.random_range(1..=6);
+        let (pl, pe) = random_graph(&mut rng, np, 0.5, 2);
+        let (tl, te) = random_graph(&mut rng, nt, 0.4, 2);
+        let (pat, _) = build_pair(pl.len(), &pl, &pe);
+        let (tgt, _) = build_pair(tl.len(), &tl, &te);
+        let mono = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, |a, b| a == b);
+        let ind = subgraph_isomorphisms(&pat, &tgt, MatchMode::Induced, |a, b| a == b);
+        prop_assert!(ind.len() <= mono.len());
+        for e in &ind {
+            prop_assert!(mono.contains(e), "induced embedding missing from monomorphism set");
+        }
+    }
+}

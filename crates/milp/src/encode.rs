@@ -1,0 +1,453 @@
+//! Encoding helpers for the logical constructs that assume-guarantee
+//! contracts compile into: guarded (big-M) implications, disjunctions,
+//! selection-weighted attribute sums, and absolute-value bounds.
+//!
+//! All helpers compute conservative big-M constants from the current variable
+//! bounds via interval arithmetic, and refuse (with
+//! [`SolveError::InvalidModel`]) to encode an implication whose body is
+//! unbounded — a silent, too-small M would make the encoding unsound.
+
+use crate::constraint::{Cmp, ConstrId};
+use crate::error::SolveError;
+use crate::expr::LinExpr;
+use crate::model::Model;
+use crate::var::VarId;
+
+/// Interval `[lo, hi]` of an expression under the model's variable bounds.
+///
+/// ```rust
+/// use contrarc_milp::{encode, Model};
+/// let mut m = Model::new("e");
+/// let x = m.add_continuous("x", -1.0, 2.0);
+/// let (lo, hi) = encode::expr_range(&m, &(3.0 * x + 1.0));
+/// assert_eq!((lo, hi), (-2.0, 7.0));
+/// ```
+#[must_use]
+pub fn expr_range(model: &Model, expr: &LinExpr) -> (f64, f64) {
+    let mut lo = expr.constant();
+    let mut hi = expr.constant();
+    for (v, c) in expr.iter() {
+        let d = model.var(v);
+        let (a, b) = (c * d.lb, c * d.ub);
+        lo += a.min(b);
+        hi += a.max(b);
+    }
+    (lo, hi)
+}
+
+/// Add `guard = 1 → expr ≤ rhs`, encoded as `expr ≤ rhs + M·(1 − guard)`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when `expr` has no finite upper bound
+/// (no sound M exists) or `guard` is not a binary variable.
+pub fn implies_le(
+    model: &mut Model,
+    name: impl Into<String>,
+    guard: VarId,
+    expr: LinExpr,
+    rhs: f64,
+) -> Result<ConstrId, SolveError> {
+    check_binary(model, guard)?;
+    let (_, hi) = expr_range(model, &expr);
+    if !hi.is_finite() {
+        return Err(SolveError::InvalidModel(
+            "implies_le: expression is unbounded above; no sound big-M exists".into(),
+        ));
+    }
+    let big_m = (hi - rhs).max(0.0);
+    // expr + M·guard ≤ rhs + M
+    let lhs = expr + big_m * guard;
+    model.add_constr(name, lhs, Cmp::Le, rhs + big_m)
+}
+
+/// Add `guard = 1 → expr ≥ rhs`, encoded as `expr ≥ rhs − M·(1 − guard)`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when `expr` has no finite lower bound
+/// or `guard` is not binary.
+pub fn implies_ge(
+    model: &mut Model,
+    name: impl Into<String>,
+    guard: VarId,
+    expr: LinExpr,
+    rhs: f64,
+) -> Result<ConstrId, SolveError> {
+    check_binary(model, guard)?;
+    let (lo, _) = expr_range(model, &expr);
+    if !lo.is_finite() {
+        return Err(SolveError::InvalidModel(
+            "implies_ge: expression is unbounded below; no sound big-M exists".into(),
+        ));
+    }
+    let big_m = (rhs - lo).max(0.0);
+    let lhs = expr - big_m * guard;
+    model.add_constr(name, lhs, Cmp::Ge, rhs - big_m)
+}
+
+/// Add `guard = 1 → expr = rhs` (two guarded inequalities).
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when `expr` is unbounded in either
+/// direction or `guard` is not binary.
+pub fn implies_eq(
+    model: &mut Model,
+    name: impl Into<String>,
+    guard: VarId,
+    expr: LinExpr,
+    rhs: f64,
+) -> Result<(ConstrId, ConstrId), SolveError> {
+    let name = name.into();
+    let le = implies_le(model, format!("{name}.le"), guard, expr.clone(), rhs)?;
+    let ge = implies_ge(model, format!("{name}.ge"), guard, expr, rhs)?;
+    Ok((le, ge))
+}
+
+/// Add `guard = 1 → |expr − center| ≤ bound` (two guarded inequalities).
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when `expr` is unbounded or `guard`
+/// is not binary.
+pub fn implies_abs_le(
+    model: &mut Model,
+    name: impl Into<String>,
+    guard: VarId,
+    expr: LinExpr,
+    center: f64,
+    bound: f64,
+) -> Result<(ConstrId, ConstrId), SolveError> {
+    let name = name.into();
+    let hi = implies_le(model, format!("{name}.hi"), guard, expr.clone(), center + bound)?;
+    let lo = implies_ge(model, format!("{name}.lo"), guard, expr, center - bound)?;
+    Ok((hi, lo))
+}
+
+/// One atom of a disjunct: `expr cmp rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Atom {
+    /// Build an atom.
+    #[must_use]
+    pub fn new(expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> Self {
+        Atom { expr: expr.into(), cmp, rhs }
+    }
+}
+
+/// Add a disjunction `D₁ ∨ D₂ ∨ …` where each disjunct `Dₖ` is a conjunction
+/// of [`Atom`]s. Returns the selector binaries (one per disjunct, `Σ yₖ ≥ 1`).
+///
+/// This is the encoding used for negated contract formulas: the negation of a
+/// conjunction of linear constraints is a disjunction of their (closed,
+/// ε-strict) complements.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when any atom's expression is
+/// unbounded in the direction its guard needs.
+pub fn disjunction(
+    model: &mut Model,
+    name: impl Into<String>,
+    disjuncts: &[Vec<Atom>],
+) -> Result<Vec<VarId>, SolveError> {
+    let name = name.into();
+    if disjuncts.is_empty() {
+        // An empty disjunction is `false`: make the model infeasible in a
+        // recognizable way.
+        let zero = LinExpr::new();
+        model.add_constr(format!("{name}.false"), zero, Cmp::Ge, 1.0)?;
+        return Ok(Vec::new());
+    }
+    let mut selectors = Vec::with_capacity(disjuncts.len());
+    for (k, _) in disjuncts.iter().enumerate() {
+        selectors.push(model.add_binary(format!("{name}.y{k}")));
+    }
+    model.add_constr(
+        format!("{name}.cover"),
+        LinExpr::sum(selectors.iter().copied()),
+        Cmp::Ge,
+        1.0,
+    )?;
+    for (k, atoms) in disjuncts.iter().enumerate() {
+        for (a, atom) in atoms.iter().enumerate() {
+            let cname = format!("{name}.d{k}a{a}");
+            match atom.cmp {
+                Cmp::Le => {
+                    implies_le(model, cname, selectors[k], atom.expr.clone(), atom.rhs)?;
+                }
+                Cmp::Ge => {
+                    implies_ge(model, cname, selectors[k], atom.expr.clone(), atom.rhs)?;
+                }
+                Cmp::Eq => {
+                    implies_eq(model, cname, selectors[k], atom.expr.clone(), atom.rhs)?;
+                }
+            }
+        }
+    }
+    Ok(selectors)
+}
+
+/// Add `target = Σₓ selectorₓ · valueₓ`, the attribute-selection equality
+/// `u_{j,i} = Σ_x m_{i,x} · U_{j,x}` from the paper's interconnection
+/// contract.
+///
+/// # Errors
+///
+/// Propagates model validation errors.
+pub fn selection_value(
+    model: &mut Model,
+    name: impl Into<String>,
+    target: VarId,
+    choices: &[(VarId, f64)],
+) -> Result<ConstrId, SolveError> {
+    let sum = LinExpr::weighted_sum(choices.iter().copied());
+    model.add_constr(name, LinExpr::var(target) - sum, Cmp::Eq, 0.0)
+}
+
+/// Add `Σ vars ≤ 1`.
+///
+/// # Errors
+///
+/// Propagates model validation errors.
+pub fn at_most_one(
+    model: &mut Model,
+    name: impl Into<String>,
+    vars: &[VarId],
+) -> Result<ConstrId, SolveError> {
+    model.add_constr(name, LinExpr::sum(vars.iter().copied()), Cmp::Le, 1.0)
+}
+
+/// Add `Σ vars = 1`.
+///
+/// # Errors
+///
+/// Propagates model validation errors.
+pub fn exactly_one(
+    model: &mut Model,
+    name: impl Into<String>,
+    vars: &[VarId],
+) -> Result<ConstrId, SolveError> {
+    model.add_constr(name, LinExpr::sum(vars.iter().copied()), Cmp::Eq, 1.0)
+}
+
+/// Add the pair of implications `indicator = 1 ↔ Σ vars ≥ 1` for binary
+/// `vars` — the "instantiated iff connected" link from the interconnection
+/// contract. Encoded as `indicator ≤ Σ vars` and `vars[i] ≤ indicator ∀i`.
+///
+/// # Errors
+///
+/// Propagates model validation errors.
+pub fn indicator_or(
+    model: &mut Model,
+    name: impl Into<String>,
+    indicator: VarId,
+    vars: &[VarId],
+) -> Result<(), SolveError> {
+    let name = name.into();
+    let sum = LinExpr::sum(vars.iter().copied());
+    model.add_constr(format!("{name}.le"), LinExpr::var(indicator) - sum, Cmp::Le, 0.0)?;
+    for (i, &v) in vars.iter().enumerate() {
+        model.add_constr(
+            format!("{name}.ge{i}"),
+            LinExpr::var(v) - LinExpr::var(indicator),
+            Cmp::Le,
+            0.0,
+        )?;
+    }
+    Ok(())
+}
+
+fn check_binary(model: &Model, guard: VarId) -> Result<(), SolveError> {
+    if model.var(guard).ty != crate::var::VarType::Binary {
+        return Err(SolveError::InvalidModel(format!(
+            "guard variable {} must be binary",
+            model.var_name(guard)
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense, SolveOptions};
+
+    fn solve(m: &Model) -> crate::Outcome {
+        m.solve(&SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn expr_range_interval_arithmetic() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", -1.0, 2.0);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        let (lo, hi) = expr_range(&m, &(2.0 * x - y + 1.0));
+        assert_eq!((lo, hi), (-4.0, 5.0));
+    }
+
+    #[test]
+    fn implies_le_binds_only_when_guarded() {
+        let mut m = Model::new("t");
+        let g = m.add_binary("g");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        implies_le(&mut m, "imp", g, LinExpr::var(x), 3.0).unwrap();
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        // Guard free: solver sets g = 0 and x = 10.
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(x) - 10.0).abs() < 1e-6);
+
+        // Force the guard: x must drop to 3.
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn implies_ge_symmetric() {
+        let mut m = Model::new("t");
+        let g = m.add_binary("g");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        implies_ge(&mut m, "imp", g, LinExpr::var(x), 7.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.set_objective(Sense::Minimize, 1.0 * x);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(x) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn implies_rejects_unbounded_body() {
+        let mut m = Model::new("t");
+        let g = m.add_binary("g");
+        let x = m.add_free("x");
+        assert!(implies_le(&mut m, "bad", g, LinExpr::var(x), 0.0).is_err());
+        assert!(implies_ge(&mut m, "bad", g, LinExpr::var(x), 0.0).is_err());
+    }
+
+    #[test]
+    fn implies_rejects_non_binary_guard() {
+        let mut m = Model::new("t");
+        let g = m.add_continuous("g", 0.0, 1.0);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        assert!(implies_le(&mut m, "bad", g, LinExpr::var(x), 0.0).is_err());
+    }
+
+    #[test]
+    fn implies_eq_pins_value() {
+        let mut m = Model::new("t");
+        let g = m.add_binary("g");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        implies_eq(&mut m, "pin", g, LinExpr::var(x), 4.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abs_le_window() {
+        let mut m = Model::new("t");
+        let g = m.add_binary("g");
+        let t = m.add_continuous("t", 0.0, 100.0);
+        implies_abs_le(&mut m, "jitter", g, LinExpr::var(t), 50.0, 2.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.set_objective(Sense::Maximize, 1.0 * t);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(t) - 52.0).abs() < 1e-6);
+        m.set_objective(Sense::Minimize, 1.0 * t);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(t) - 48.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjunction_requires_one_branch() {
+        // x in [0,10]; (x ≤ 1) ∨ (x ≥ 9); maximize x → 10; minimize → 0.
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        disjunction(
+            &mut m,
+            "d",
+            &[
+                vec![Atom::new(LinExpr::var(x), Cmp::Le, 1.0)],
+                vec![Atom::new(LinExpr::var(x), Cmp::Ge, 9.0)],
+            ],
+        )
+        .unwrap();
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!(sol.value(x) >= 9.0 - 1e-6);
+
+        // Force the middle: infeasible.
+        m.add_constr("mid_lo", LinExpr::var(x), Cmp::Ge, 2.0).unwrap();
+        m.add_constr("mid_hi", LinExpr::var(x), Cmp::Le, 8.0).unwrap();
+        assert!(!solve(&m).is_feasible());
+    }
+
+    #[test]
+    fn empty_disjunction_is_false() {
+        let mut m = Model::new("t");
+        let _x = m.add_continuous("x", 0.0, 1.0);
+        disjunction(&mut m, "d", &[]).unwrap();
+        assert!(!solve(&m).is_feasible());
+    }
+
+    #[test]
+    fn selection_value_links_attribute() {
+        let mut m = Model::new("t");
+        let m1 = m.add_binary("m1");
+        let m2 = m.add_binary("m2");
+        let u = m.add_continuous("u", 0.0, 100.0);
+        exactly_one(&mut m, "one", &[m1, m2]).unwrap();
+        selection_value(&mut m, "attr", u, &[(m1, 10.0), (m2, 25.0)]).unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::var(u));
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.value(u) - 10.0).abs() < 1e-6);
+        assert!(sol.is_set(m1));
+    }
+
+    #[test]
+    fn indicator_or_links_both_directions() {
+        let mut m = Model::new("t");
+        let b = m.add_binary("b");
+        let e1 = m.add_binary("e1");
+        let e2 = m.add_binary("e2");
+        indicator_or(&mut m, "link", b, &[e1, e2]).unwrap();
+        // Force an edge on: indicator must be 1.
+        m.add_constr("f", LinExpr::var(e1), Cmp::Ge, 1.0).unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::var(b));
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!(sol.is_set(b));
+    }
+
+    #[test]
+    fn indicator_or_forces_zero_when_no_edges() {
+        let mut m = Model::new("t");
+        let b = m.add_binary("b");
+        let e1 = m.add_binary("e1");
+        indicator_or(&mut m, "link", b, &[e1]).unwrap();
+        m.add_constr("off", LinExpr::var(e1), Cmp::Le, 0.0).unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::var(b));
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!(!sol.is_set(b));
+    }
+
+    #[test]
+    fn at_most_one_works() {
+        let mut m = Model::new("t");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        at_most_one(&mut m, "amo", &[a, b]).unwrap();
+        m.set_objective(Sense::Maximize, a + b);
+        let sol = solve(&m).expect_optimal().unwrap();
+        assert!((sol.objective() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+///
+/// Infeasibility and unboundedness are *not* errors — they are reported
+/// through [`Outcome`](crate::Outcome) because they are meaningful answers to
+/// an optimization question. `SolveError` covers malformed input and
+/// exhausted resource limits, where no answer is known.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The model is structurally invalid (unknown variable, NaN coefficient,
+    /// inverted bounds, ...).
+    InvalidModel(String),
+    /// The simplex iteration limit was exceeded before convergence.
+    IterationLimit {
+        /// Limit that was hit.
+        limit: u64,
+    },
+    /// The branch-and-bound node limit was exceeded before the tree was
+    /// exhausted.
+    NodeLimit {
+        /// Limit that was hit.
+        limit: u64,
+    },
+    /// The wall-clock time limit was exceeded.
+    TimeLimit {
+        /// Limit in seconds that was hit.
+        limit_secs: f64,
+    },
+    /// The solver detected numerical trouble it could not recover from.
+    Numerical(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            SolveError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            SolveError::NodeLimit { limit } => {
+                write!(f, "branch-and-bound node limit of {limit} exceeded")
+            }
+            SolveError::TimeLimit { limit_secs } => {
+                write!(f, "time limit of {limit_secs} s exceeded")
+            }
+            SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SolveError::InvalidModel("x".into()).to_string().contains("invalid model"));
+        assert!(SolveError::IterationLimit { limit: 9 }.to_string().contains('9'));
+        assert!(SolveError::NodeLimit { limit: 3 }.to_string().contains('3'));
+        assert!(SolveError::TimeLimit { limit_secs: 1.5 }.to_string().contains("1.5"));
+        assert!(SolveError::Numerical("bad pivot".into()).to_string().contains("bad pivot"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SolveError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! Export models in the (CPLEX-style) LP text format, for debugging and for
+//! cross-checking against external solvers.
+
+use crate::constraint::Cmp;
+use crate::expr::LinExpr;
+use crate::model::{Model, Sense};
+use crate::var::VarType;
+use std::fmt::Write as _;
+
+/// Render a model in LP format.
+///
+/// Variable names are emitted as `x<index>` (LP format forbids many of the
+/// characters our human-readable names use); a comment header maps indices
+/// back to names.
+///
+/// ```rust
+/// use contrarc_milp::{Cmp, Model, Sense};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = Model::new("demo");
+/// let x = m.add_binary("pick");
+/// m.add_constr("cap", 2.0 * x, Cmp::Le, 1.5)?;
+/// m.set_objective(Sense::Maximize, 3.0 * x);
+/// let text = contrarc_milp::export::to_lp_format(&m);
+/// assert!(text.contains("Maximize"));
+/// assert!(text.contains("Binaries"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\\ model: {}", model.name());
+    for (v, d) in model.vars() {
+        let _ = writeln!(out, "\\ x{} = {}", v.index(), d.name);
+    }
+
+    let _ = writeln!(
+        out,
+        "{}",
+        match model.sense() {
+            Sense::Minimize => "Minimize",
+            Sense::Maximize => "Maximize",
+        }
+    );
+    let _ = writeln!(out, " obj: {}", lp_expr(model.objective()));
+
+    let _ = writeln!(out, "Subject To");
+    for (k, c) in model.constrs().enumerate() {
+        let op = match c.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, " c{k}: {} {op} {}", lp_expr(&c.expr), c.rhs);
+    }
+
+    let _ = writeln!(out, "Bounds");
+    for (v, d) in model.vars() {
+        if d.ty == VarType::Binary {
+            continue; // implied by the Binaries section
+        }
+        match (d.lb.is_finite(), d.ub.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= x{} <= {}", d.lb, v.index(), d.ub);
+            }
+            (true, false) => {
+                let _ = writeln!(out, " x{} >= {}", v.index(), d.lb);
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= x{} <= {}", v.index(), d.ub);
+            }
+            (false, false) => {
+                let _ = writeln!(out, " x{} free", v.index());
+            }
+        }
+    }
+
+    let binaries: Vec<String> = model
+        .vars()
+        .filter(|(_, d)| d.ty == VarType::Binary)
+        .map(|(v, _)| format!("x{}", v.index()))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binaries");
+        let _ = writeln!(out, " {}", binaries.join(" "));
+    }
+    let generals: Vec<String> = model
+        .vars()
+        .filter(|(_, d)| d.ty == VarType::Integer)
+        .map(|(v, _)| format!("x{}", v.index()))
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "Generals");
+        let _ = writeln!(out, " {}", generals.join(" "));
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn lp_expr(e: &LinExpr) -> String {
+    let mut s = String::new();
+    let mut first = true;
+    for (v, c) in e.iter() {
+        if first {
+            if c < 0.0 {
+                let _ = write!(s, "- {} x{}", -c, v.index());
+            } else {
+                let _ = write!(s, "{} x{}", c, v.index());
+            }
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(s, " - {} x{}", -c, v.index());
+        } else {
+            let _ = write!(s, " + {} x{}", c, v.index());
+        }
+    }
+    if first {
+        s.push('0');
+    }
+    if e.constant() != 0.0 {
+        let k = e.constant();
+        if k < 0.0 {
+            let _ = write!(s, " - {}", -k);
+        } else {
+            let _ = write!(s, " + {k}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model, Sense};
+
+    fn sample() -> Model {
+        let mut m = Model::new("sample");
+        let x = m.add_binary("pick");
+        let y = m.add_continuous("level", 0.0, 10.0);
+        let z = m.add_integer("count", -2.0, 5.0);
+        let f = m.add_free("offset");
+        m.add_constr("cap", 2.0 * x + 1.0 * y - 0.5 * z, Cmp::Le, 7.0).unwrap();
+        m.add_constr("link", 1.0 * y + 1.0 * f, Cmp::Eq, 3.0).unwrap();
+        m.set_objective(Sense::Minimize, 1.0 * x + 2.0 * y);
+        m
+    }
+
+    #[test]
+    fn sections_present() {
+        let text = to_lp_format(&sample());
+        for section in ["Minimize", "Subject To", "Bounds", "Binaries", "Generals", "End"] {
+            assert!(text.contains(section), "missing section {section}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn name_map_in_comments() {
+        let text = to_lp_format(&sample());
+        assert!(text.contains("\\ x0 = pick"));
+        assert!(text.contains("\\ x3 = offset"));
+    }
+
+    #[test]
+    fn free_and_bounded_vars_rendered() {
+        let text = to_lp_format(&sample());
+        assert!(text.contains("x3 free"));
+        assert!(text.contains("0 <= x1 <= 10"));
+        assert!(text.contains("-2 <= x2 <= 5"));
+    }
+
+    #[test]
+    fn negative_coefficients_formatted() {
+        let text = to_lp_format(&sample());
+        assert!(text.contains("- 0.5 x2"));
+    }
+
+    #[test]
+    fn constant_objective_renders_zero() {
+        let mut m = Model::new("k");
+        let _ = m.add_binary("b");
+        m.set_objective(Sense::Minimize, contrarc_milp_zero());
+        let text = to_lp_format(&m);
+        assert!(text.contains("obj: 0"));
+    }
+
+    fn contrarc_milp_zero() -> crate::LinExpr {
+        crate::LinExpr::new()
+    }
+}

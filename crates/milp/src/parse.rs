@@ -1,0 +1,486 @@
+//! Parse models from the (CPLEX-style) LP text format written by
+//! [`export::to_lp_format`](crate::export::to_lp_format) — round-tripping
+//! models for debugging and for importing instances produced by external
+//! tools.
+//!
+//! The supported grammar is the practical core of the LP format:
+//! `Minimize`/`Maximize`, one objective row, `Subject To` with `<= >= =`
+//! rows, `Bounds` (including `free`), `Binaries`/`Generals`, `End`, and
+//! `\`-comments. Variable names are free-form identifiers.
+
+use crate::constraint::Cmp;
+use crate::error::SolveError;
+use crate::expr::LinExpr;
+use crate::model::{Model, Sense};
+use crate::var::{VarDef, VarId, VarType};
+use std::collections::HashMap;
+
+/// Parse an LP-format document into a [`Model`].
+///
+/// Variables get `[0, ∞)` continuous defaults (the LP-format convention)
+/// until a `Bounds`/`Binaries`/`Generals` section says otherwise.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] with a line-tagged message on any
+/// syntax the subset does not understand.
+///
+/// # Examples
+///
+/// ```rust
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "\
+/// Maximize
+///  obj: 3 x + 4 y
+/// Subject To
+///  c1: x + 2 y <= 14
+/// Bounds
+///  x free
+/// End
+/// ";
+/// let model = contrarc_milp::parse::from_lp_format(text)?;
+/// assert_eq!(model.num_vars(), 2);
+/// assert_eq!(model.num_constrs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_lp_format(text: &str) -> Result<Model, SolveError> {
+    let mut parser = Parser::new();
+    parser.run(text)?;
+    parser.finish()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Preamble,
+    Objective(Sense),
+    Constraints,
+    Bounds,
+    Binaries,
+    Generals,
+    Done,
+}
+
+struct Parser {
+    model: Model,
+    vars: HashMap<String, VarId>,
+    section: Section,
+    /// Objective text accumulates across lines until `Subject To`.
+    objective_src: String,
+    objective_sense: Sense,
+    /// Constraint text accumulates until a comparison is complete.
+    pending: String,
+    /// Deferred variable-type changes, applied when the model is rebuilt in
+    /// [`Parser::finish`] (variable types are immutable in `Model`).
+    type_patches: Vec<(VarId, VarType, String)>,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            model: Model::new("lp-import"),
+            vars: HashMap::new(),
+            section: Section::Preamble,
+            objective_src: String::new(),
+            objective_sense: Sense::Minimize,
+            pending: String::new(),
+            type_patches: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, text: &str) -> Result<(), SolveError> {
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.line(line, lineno + 1)?;
+        }
+        Ok(())
+    }
+
+    fn line(&mut self, line: &str, no: usize) -> Result<(), SolveError> {
+        let lower = line.to_ascii_lowercase();
+        // Section headers.
+        let new_section = match lower.as_str() {
+            "minimize" | "min" => Some(Section::Objective(Sense::Minimize)),
+            "maximize" | "max" => Some(Section::Objective(Sense::Maximize)),
+            "subject to" | "st" | "s.t." | "such that" => Some(Section::Constraints),
+            "bounds" => Some(Section::Bounds),
+            "binaries" | "binary" | "bin" => Some(Section::Binaries),
+            "generals" | "general" | "gen" => Some(Section::Generals),
+            "end" => Some(Section::Done),
+            _ => None,
+        };
+        if let Some(s) = new_section {
+            self.flush_pending(no)?;
+            if let Section::Objective(sense) = s {
+                self.objective_sense = sense;
+            }
+            self.section = s;
+            return Ok(());
+        }
+
+        match self.section {
+            Section::Preamble => Err(err(no, "expected a Minimize/Maximize header")),
+            Section::Done => Err(err(no, "content after End")),
+            Section::Objective(_) => {
+                self.objective_src.push(' ');
+                self.objective_src.push_str(line);
+                Ok(())
+            }
+            Section::Constraints => {
+                self.pending.push(' ');
+                self.pending.push_str(line);
+                // A constraint is complete once it contains a comparison and
+                // ends in a number.
+                if contains_cmp(&self.pending) && ends_numeric(&self.pending) {
+                    self.flush_pending(no)?;
+                }
+                Ok(())
+            }
+            Section::Bounds => self.parse_bound(line, no),
+            Section::Binaries => {
+                for name in line.split_whitespace() {
+                    let v = self.var(name);
+                    self.set_var_type(v, VarType::Binary, 0.0, 1.0);
+                }
+                Ok(())
+            }
+            Section::Generals => {
+                for name in line.split_whitespace() {
+                    let v = self.var(name);
+                    let (lb, ub) = {
+                        let d = self.model.var(v);
+                        (d.lb, d.ub)
+                    };
+                    self.set_var_type(v, VarType::Integer, lb, ub);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, no: usize) -> Result<(), SolveError> {
+        if self.pending.trim().is_empty() {
+            return Ok(());
+        }
+        let text = std::mem::take(&mut self.pending);
+        let (label, rest) = split_label(&text);
+        let (lhs_src, cmp, rhs_src) = split_cmp(rest).ok_or_else(|| {
+            err(no, &format!("constraint without a comparison: `{}`", rest.trim()))
+        })?;
+        let lhs = self.parse_expr(lhs_src, no)?;
+        let rhs: f64 = rhs_src
+            .trim()
+            .parse()
+            .map_err(|_| err(no, &format!("bad rhs `{}`", rhs_src.trim())))?;
+        let name = label.unwrap_or_else(|| format!("row{}", self.model.num_constrs()));
+        self.model.add_constr(name, lhs, cmp, rhs)?;
+        Ok(())
+    }
+
+    fn parse_bound(&mut self, line: &str, no: usize) -> Result<(), SolveError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        // `x free`
+        if let [name, kw] = tokens.as_slice() {
+            if kw.eq_ignore_ascii_case("free") {
+                let v = self.var(name);
+                self.set_bounds_keep_type(v, f64::NEG_INFINITY, f64::INFINITY);
+                return Ok(());
+            }
+        }
+        // `lo <= x <= hi` | `x <= hi` | `x >= lo`
+        let text = line.replace("<=", " <= ").replace(">=", " >= ");
+        let parts: Vec<&str> = text.split_whitespace().collect();
+        match parts.as_slice() {
+            [lo, "<=", name, "<=", hi] => {
+                let v = self.var(name);
+                let lo = parse_bound_value(lo, no)?;
+                let hi = parse_bound_value(hi, no)?;
+                self.set_bounds_keep_type(v, lo, hi);
+                Ok(())
+            }
+            [name, "<=", hi] => {
+                let v = self.var(name);
+                let hi = parse_bound_value(hi, no)?;
+                let lb = self.model.var(v).lb;
+                self.set_bounds_keep_type(v, lb, hi);
+                Ok(())
+            }
+            [name, ">=", lo] => {
+                let v = self.var(name);
+                let lo = parse_bound_value(lo, no)?;
+                let ub = self.model.var(v).ub;
+                self.set_bounds_keep_type(v, lo, ub);
+                Ok(())
+            }
+            _ => Err(err(no, &format!("unsupported bound syntax `{line}`"))),
+        }
+    }
+
+    /// Parse a linear expression like `3 x - 4.5 y + z`.
+    fn parse_expr(&mut self, src: &str, no: usize) -> Result<LinExpr, SolveError> {
+        let mut expr = LinExpr::new();
+        let mut sign = 1.0;
+        let mut coeff: Option<f64> = None;
+        for token in tokenize(src) {
+            match token.as_str() {
+                "+" => {
+                    self.push_dangling(&mut expr, &mut coeff, sign);
+                    sign = 1.0;
+                }
+                "-" => {
+                    self.push_dangling(&mut expr, &mut coeff, sign);
+                    sign = -1.0;
+                }
+                t => {
+                    if let Ok(v) = t.parse::<f64>() {
+                        coeff = Some(coeff.unwrap_or(1.0) * v);
+                    } else {
+                        let var = self.var(t);
+                        expr.add_term(var, sign * coeff.take().unwrap_or(1.0));
+                        sign = 1.0;
+                    }
+                }
+            }
+        }
+        self.push_dangling(&mut expr, &mut coeff, sign);
+        let _ = no;
+        Ok(expr)
+    }
+
+    /// A trailing bare number is an additive constant.
+    fn push_dangling(&mut self, expr: &mut LinExpr, coeff: &mut Option<f64>, sign: f64) {
+        if let Some(c) = coeff.take() {
+            expr.add_constant(sign * c);
+        }
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = self
+            .model
+            .add_var(VarDef::new(name, VarType::Continuous, 0.0, f64::INFINITY));
+        self.vars.insert(name.to_string(), v);
+        v
+    }
+
+    /// Replace a variable's definition (type/bounds), keeping its identity.
+    fn set_var_type(&mut self, v: VarId, ty: VarType, lb: f64, ub: f64) {
+        let name = self.model.var_name(v).to_string();
+        self.type_patches.push((v, ty, name));
+        let _ = self.model.set_bounds(v, lb, ub);
+    }
+
+    fn set_bounds_keep_type(&mut self, v: VarId, lb: f64, ub: f64) {
+        let _ = self.model.set_bounds(v, lb, ub);
+    }
+
+    fn finish(mut self) -> Result<Model, SolveError> {
+        self.flush_pending(0)?;
+        let objective_src = std::mem::take(&mut self.objective_src);
+        let (_, rest) = split_label(&objective_src);
+        let obj = self.parse_expr(rest, 0)?;
+        let sense = self.objective_sense;
+
+        // Apply type patches by rebuilding the model (VarDef types are
+        // immutable through the public API).
+        let mut rebuilt = Model::new("lp-import");
+        for (v, d) in self.model.vars() {
+            let ty = self
+                .type_patches
+                .iter()
+                .rev()
+                .find(|(pv, _, _)| *pv == v)
+                .map_or(d.ty, |(_, t, _)| *t);
+            rebuilt.add_var(VarDef::new(d.name.clone(), ty, d.lb, d.ub));
+        }
+        for c in self.model.constrs() {
+            rebuilt.add_constraint(c.clone())?;
+        }
+        rebuilt.set_objective(sense, obj);
+        Ok(rebuilt)
+    }
+}
+
+fn err(line: usize, msg: &str) -> SolveError {
+    SolveError::InvalidModel(format!("LP parse error (line {line}): {msg}"))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('\\') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn split_label(text: &str) -> (Option<String>, &str) {
+    if let Some(colon) = text.find(':') {
+        let (label, rest) = text.split_at(colon);
+        (Some(label.trim().to_string()), &rest[1..])
+    } else {
+        (None, text)
+    }
+}
+
+fn contains_cmp(s: &str) -> bool {
+    s.contains("<=") || s.contains(">=") || s.contains('=')
+}
+
+fn ends_numeric(s: &str) -> bool {
+    s.trim()
+        .rsplit(|c: char| c.is_whitespace() || c == '=' || c == '<' || c == '>')
+        .next()
+        .is_some_and(|t| t.parse::<f64>().is_ok())
+}
+
+fn split_cmp(text: &str) -> Option<(&str, Cmp, &str)> {
+    for (pat, cmp) in [("<=", Cmp::Le), (">=", Cmp::Ge), ("=", Cmp::Eq)] {
+        if let Some(i) = text.find(pat) {
+            return Some((&text[..i], cmp, &text[i + pat.len()..]));
+        }
+    }
+    None
+}
+
+fn tokenize(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in src.chars() {
+        match ch {
+            '+' | '-' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_bound_value(s: &str, no: usize) -> Result<f64, SolveError> {
+    match s.to_ascii_lowercase().as_str() {
+        "-inf" | "-infinity" => Ok(f64::NEG_INFINITY),
+        "inf" | "+inf" | "infinity" => Ok(f64::INFINITY),
+        t => t.parse().map_err(|_| err(no, &format!("bad bound `{s}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_lp_format;
+    use crate::{Cmp, SolveOptions};
+
+    #[test]
+    fn parse_simple_lp() {
+        let text = "\
+Maximize
+ obj: 3 x + 4 y
+Subject To
+ c1: x + 2 y <= 14
+ c2: 3 x - y >= 0
+ c3: x - y <= 2
+End
+";
+        let m = from_lp_format(text).unwrap();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constrs(), 3);
+        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 34.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_sections_and_types() {
+        let text = "\
+Minimize
+ obj: x + y + z
+Subject To
+ c: x + y + z >= 2
+Bounds
+ 0 <= y <= 5
+ z free
+Binaries
+ x
+End
+";
+        let m = from_lp_format(text).unwrap();
+        assert_eq!(m.var(VarId::from_index(0)).ty, VarType::Binary);
+        assert_eq!(m.var(VarId::from_index(1)).ub, 5.0);
+        assert_eq!(m.var(VarId::from_index(2)).lb, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn roundtrip_through_export() {
+        let mut m = Model::new("rt");
+        let a = m.add_binary("a");
+        let b = m.add_integer("b", -2.0, 7.0);
+        let c = m.add_continuous("c", 0.0, 3.5);
+        m.add_constr("k1", 2.0 * a + 1.0 * b - 0.5 * c, Cmp::Le, 6.0).unwrap();
+        m.add_constr("k2", 1.0 * b + 1.0 * c, Cmp::Ge, 1.0).unwrap();
+        m.set_objective(crate::Sense::Maximize, 3.0 * a + 1.0 * b + 0.25 * c);
+
+        let text = to_lp_format(&m);
+        let back = from_lp_format(&text).unwrap();
+        assert_eq!(back.num_vars(), m.num_vars());
+        assert_eq!(back.num_constrs(), m.num_constrs());
+        let s1 = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let s2 = back.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!(
+            (s1.objective() - s2.objective()).abs() < 1e-6,
+            "{} vs {}",
+            s1.objective(),
+            s2.objective()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+\\ a header comment
+Minimize
+ obj: x
+
+Subject To
+ c: x >= 3 \\ trailing comment
+End
+";
+        let m = from_lp_format(text).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_line_tagged() {
+        let e = from_lp_format("garbage before headers\nMinimize\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn implicit_coefficients_and_constants() {
+        let text = "\
+Minimize
+ obj: x + 2
+Subject To
+ c: 2 x >= 4
+End
+";
+        let m = from_lp_format(text).unwrap();
+        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 4.0).abs() < 1e-9, "x=2 plus constant 2");
+    }
+}

@@ -1,0 +1,565 @@
+//! Best-bound branch-and-bound over the simplex LP relaxation.
+
+use crate::error::SolveError;
+use crate::model::Model;
+use crate::presolve;
+use crate::solution::{Outcome, Solution, SolveStats};
+use crate::solver::{BasisSnapshot, LpOutcome, Simplex, SolveOptions};
+use crate::standard_form::StandardForm;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A subproblem: the root bounds plus the branching tightenings, stored as
+/// full vectors (problems in this workload have at most a few thousand
+/// variables, so cloning is cheap relative to an LP solve).
+#[derive(Debug, Clone)]
+struct Node {
+    lbs: Vec<f64>,
+    ubs: Vec<f64>,
+    /// LP bound of the *parent* (minimization space); used for best-first
+    /// ordering before this node's own relaxation is solved.
+    bound: f64,
+    depth: u32,
+    /// Parent's optimal basis, for dual-simplex warm starts.
+    warm: Option<Arc<BasisSnapshot>>,
+}
+
+/// Max-heap entry ordered so the smallest bound pops first.
+struct HeapEntry(Node);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the lowest bound first;
+        // break ties toward deeper nodes (cheap plunging).
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, SolveError> {
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+
+    // Presolve: detect trivial infeasibility and tighten bounds.
+    let (root_lbs, root_ubs) = match presolve_bounds(model, opts) {
+        Some(bounds) => bounds,
+        None => {
+            stats.time_secs = start.elapsed().as_secs_f64();
+            return Ok(Outcome::Infeasible { stats });
+        }
+    };
+
+    let int_vars: Vec<usize> = model
+        .vars()
+        .filter(|(_, d)| d.ty.is_integral())
+        .map(|(v, _)| v.index())
+        .collect();
+    // Branching priority: fractional variables with large objective
+    // coefficients move the node bound fastest (a cheap pseudo-cost proxy).
+    let mut branch_weight = vec![0.0_f64; model.num_vars()];
+    for (v, c) in model.objective().iter() {
+        branch_weight[v.index()] = c.abs();
+    }
+    let wmax = branch_weight.iter().fold(0.0_f64, |a, &b| a.max(b)).max(1.0);
+    for w in &mut branch_weight {
+        *w = 1.0 + *w / wmax;
+    }
+
+    // Build (and equilibrate) the matrix once; nodes only rebind bounds.
+    let sf_root = StandardForm::build(model, Some((&root_lbs, &root_ubs)));
+
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry(Node {
+        lbs: root_lbs,
+        ubs: root_ubs,
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        warm: None,
+    }));
+
+    // (values, min-space obj, model-sense obj)
+    let mut incumbent: Option<(Vec<f64>, f64, f64)> = None;
+    let mut root_unbounded = false;
+    // Objective floor in minimization space: an incumbent at or below it is
+    // provably optimal without exhausting the tree.
+    let floor_min = opts
+        .objective_floor
+        .map(|f| sf_root.obj_sign * (f - sf_root.obj_offset));
+    let reached_floor = |inc: &Option<(Vec<f64>, f64, f64)>| -> bool {
+        match (inc, floor_min) {
+            (Some((_, min_inc, _)), Some(fl)) => *min_inc <= fl + opts.abs_gap,
+            _ => false,
+        }
+    };
+
+    while let Some(HeapEntry(node)) = heap.pop() {
+        if stats.nodes >= opts.max_nodes {
+            return Err(SolveError::NodeLimit { limit: opts.max_nodes });
+        }
+        if let Some(limit) = opts.time_limit_secs {
+            if start.elapsed().as_secs_f64() > limit {
+                return Err(SolveError::TimeLimit { limit_secs: limit });
+            }
+        }
+        // Bound-based pruning against the incumbent.
+        if let Some((_, inc, _)) = &incumbent {
+            if node.bound >= *inc - opts.abs_gap {
+                continue;
+            }
+        }
+        stats.nodes += 1;
+
+        let sf = sf_root.rebind(&node.lbs, &node.ubs);
+        let mut simplex = Simplex::new(&sf, opts);
+        let lp_result = match node.warm.as_deref() {
+            Some(snap) if opts.warm_start => match simplex.solve_warm(snap) {
+                Ok(Some(outcome)) => Ok(outcome),
+                Ok(None) => {
+                    // Unusable snapshot: cold start on a fresh state.
+                    simplex = Simplex::new(&sf, opts);
+                    simplex.solve()
+                }
+                Err(e) => Err(e),
+            },
+            _ => simplex.solve(),
+        };
+        stats.simplex_iterations += simplex.pivots;
+        let lp = lp_result?;
+        let node_snapshot = match &lp {
+            LpOutcome::Optimal { .. } => simplex.snapshot().map(Arc::new),
+            _ => None,
+        };
+        let (values, min_obj) = match lp {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if node.depth == 0 {
+                    root_unbounded = true;
+                    break;
+                }
+                // A child cannot be unbounded if the root was bounded unless
+                // the recession direction is integral; treat conservatively.
+                root_unbounded = true;
+                break;
+            }
+            LpOutcome::Optimal { values, min_obj } => (values, min_obj),
+        };
+
+        if let Some((_, inc, _)) = &incumbent {
+            if min_obj >= *inc - opts.abs_gap {
+                continue; // dominated
+            }
+        }
+
+        // Branching variable: most fractional integral variable.
+        let branch = most_fractional(&values, &int_vars, opts.int_tol, &branch_weight);
+
+        match branch {
+            None => {
+                // Integral within tolerance. Near-integral values leak
+                // through big-M constraints (M·int_tol can exceed the
+                // constraint margin), so verify by fixing every integer to
+                // its rounded value and re-solving the LP exactly.
+                let mut lbs_fix = node.lbs.clone();
+                let mut ubs_fix = node.ubs.clone();
+                let mut exact = true;
+                for &vi in &int_vars {
+                    let r = values[vi].round().clamp(node.lbs[vi], node.ubs[vi]);
+                    if (values[vi] - r).abs() > 1e-12 {
+                        exact = false;
+                    }
+                    lbs_fix[vi] = r;
+                    ubs_fix[vi] = r;
+                }
+                if exact {
+                    incumbent = Some((values, min_obj, sf.model_objective(min_obj)));
+                    if reached_floor(&incumbent) {
+                        break;
+                    }
+                } else {
+                    let sf_fix = sf_root.rebind(&lbs_fix, &ubs_fix);
+                    let mut sx = Simplex::new(&sf_fix, opts);
+                    let fixed = sx.solve();
+                    stats.simplex_iterations += sx.pivots;
+                    match fixed? {
+                        LpOutcome::Optimal { values: fvals, min_obj: fobj } => {
+                            if incumbent
+                                .as_ref()
+                                .is_none_or(|(_, inc, _)| fobj < *inc - opts.abs_gap)
+                            {
+                                let mut vals = fvals;
+                                for &vi in &int_vars {
+                                    vals[vi] = vals[vi].round();
+                                }
+                                incumbent =
+                                    Some((vals, fobj, sf_fix.model_objective(fobj)));
+                                if reached_floor(&incumbent) {
+                                    break;
+                                }
+                            }
+                            // The relaxation bound may still admit better
+                            // integer points nearby; branch on the most
+                            // nearly-fractional variable to keep exploring.
+                            if let Some((vi, x)) = most_fractional(&values, &int_vars, 0.0, &branch_weight)
+                            {
+                                push_children(
+                                    &mut heap, &node, vi, x, min_obj, opts,
+                                    &node_snapshot,
+                                );
+                            }
+                        }
+                        LpOutcome::Infeasible => {
+                            // Phantom integral point: branch to split it.
+                            if let Some((vi, x)) = most_fractional(&values, &int_vars, 0.0, &branch_weight)
+                            {
+                                push_children(
+                                    &mut heap, &node, vi, x, min_obj, opts,
+                                    &node_snapshot,
+                                );
+                            }
+                        }
+                        LpOutcome::Unbounded => {
+                            root_unbounded = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Some((vi, x)) => {
+                push_children(&mut heap, &node, vi, x, min_obj, opts, &node_snapshot);
+            }
+        }
+    }
+
+    stats.time_secs = start.elapsed().as_secs_f64();
+    if root_unbounded {
+        return Ok(Outcome::Unbounded { stats });
+    }
+    match incumbent {
+        Some((values, _, objective)) => {
+            Ok(Outcome::Optimal { solution: Solution::new(values, objective), stats })
+        }
+        None => Ok(Outcome::Infeasible { stats }),
+    }
+}
+
+/// The integral variable maximizing `fractionality · weight` (among those
+/// strictly more fractional than `threshold`), with its value. Weights bias
+/// branching toward objective-heavy variables.
+fn most_fractional(
+    values: &[f64],
+    int_vars: &[usize],
+    threshold: f64,
+    weights: &[f64],
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_score = 0.0_f64;
+    for &vi in int_vars {
+        let x = values[vi];
+        let frac = (x - x.round()).abs();
+        if frac <= threshold {
+            continue;
+        }
+        let score = frac * weights.get(vi).copied().unwrap_or(1.0);
+        if best.is_none() || score > best_score {
+            best_score = score;
+            best = Some((vi, x));
+        }
+    }
+    best
+}
+
+/// Push the down (`x ≤ ⌊v⌋`) and up (`x ≥ ⌊v⌋+1`) children of a node.
+fn push_children(
+    heap: &mut BinaryHeap<HeapEntry>,
+    node: &Node,
+    vi: usize,
+    x: f64,
+    bound: f64,
+    opts: &SolveOptions,
+    warm: &Option<Arc<BasisSnapshot>>,
+) {
+    let floor = x.floor();
+    if floor >= node.lbs[vi] - opts.int_tol {
+        let mut ubs = node.ubs.clone();
+        ubs[vi] = floor;
+        heap.push(HeapEntry(Node {
+            lbs: node.lbs.clone(),
+            ubs,
+            bound,
+            depth: node.depth + 1,
+            warm: warm.clone(),
+        }));
+    }
+    if floor + 1.0 <= node.ubs[vi] + opts.int_tol {
+        let mut lbs = node.lbs.clone();
+        lbs[vi] = floor + 1.0;
+        heap.push(HeapEntry(Node {
+            lbs,
+            ubs: node.ubs.clone(),
+            bound,
+            depth: node.depth + 1,
+            warm: warm.clone(),
+        }));
+    }
+}
+
+/// Run presolve and return per-variable root bounds, or `None` when presolve
+/// proves infeasibility outright.
+fn presolve_bounds(model: &Model, opts: &SolveOptions) -> Option<(Vec<f64>, Vec<f64>)> {
+    let mut lbs: Vec<f64> = model.vars().map(|(_, d)| d.lb).collect();
+    let mut ubs: Vec<f64> = model.vars().map(|(_, d)| d.ub).collect();
+    // Integral bounds can always be rounded inward.
+    for (i, (_, d)) in model.vars().enumerate() {
+        if d.ty.is_integral() {
+            lbs[i] = lbs[i].ceil();
+            ubs[i] = ubs[i].floor();
+        }
+        if lbs[i] > ubs[i] {
+            return None;
+        }
+    }
+    if opts.presolve && !presolve::tighten_bounds(model, &mut lbs, &mut ubs) {
+        return None;
+    }
+    Some((lbs, ubs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, LinExpr, Model, Sense};
+
+    fn solve_default(m: &Model) -> Outcome {
+        solve(m, &SolveOptions::default()).expect("solver error")
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 4a+5b+6c s.t. 3a+4b+5c <= 7 -> pick a,b: 9
+        let mut m = Model::new("k");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0).unwrap();
+        m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b + 6.0 * c);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+        assert!((sol.objective() - 9.0).abs() < 1e-6);
+        assert!(sol.is_set(a) && sol.is_set(b) && !sol.is_set(c));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x s.t. 2x <= 7, x integer -> 3 (LP gives 3.5)
+        let mut m = Model::new("i");
+        let x = m.add_integer("x", 0.0, 100.0);
+        m.add_constr("c", 2.0 * x, Cmp::Le, 7.0).unwrap();
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+        assert_eq!(sol.value_rounded(x), 3);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, x integer -> infeasible
+        let mut m = Model::new("i");
+        let _ = m.add_integer("x", 0.4, 0.6);
+        assert!(matches!(solve_default(&m), Outcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn equality_partition() {
+        // exactly-one constraint: min cost selection
+        let mut m = Model::new("p");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constr("one", a + b + c, Cmp::Eq, 1.0).unwrap();
+        m.set_objective(Sense::Minimize, 5.0 * a + 3.0 * b + 4.0 * c);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-6);
+        assert!(sol.is_set(b));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y, x bin, 0<=y<=10, x + y <= 5.5 -> x=1, y=4.5, obj 6.5
+        let mut m = Model::new("mix");
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constr("c", x + y, Cmp::Le, 5.5).unwrap();
+        m.set_objective(Sense::Maximize, 2.0 * x + y);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+        assert!((sol.objective() - 6.5).abs() < 1e-6);
+        assert!(sol.is_set(x));
+        assert!((sol.value(y) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_milp() {
+        let mut m = Model::new("u");
+        let x = m.add_integer("x", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Maximize, 1.0 * x);
+        assert!(matches!(solve_default(&m), Outcome::Unbounded { .. }));
+    }
+
+    #[test]
+    fn bigger_knapsack_exact() {
+        // 10-item knapsack with known optimum (checked by brute force below).
+        let weights = [23.0, 31.0, 29.0, 44.0, 53.0, 38.0, 63.0, 85.0, 89.0, 82.0];
+        let values = [92.0, 57.0, 49.0, 68.0, 60.0, 43.0, 67.0, 84.0, 87.0, 72.0];
+        let cap = 165.0;
+        let mut m = Model::new("k10");
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let w: LinExpr = vars.iter().zip(weights).map(|(&v, wi)| LinExpr::term(v, wi)).sum();
+        let val: LinExpr = vars.iter().zip(values).map(|(&v, vi)| LinExpr::term(v, vi)).sum();
+        m.add_constr("cap", w, Cmp::Le, cap).unwrap();
+        m.set_objective(Sense::Maximize, val);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+
+        // Brute force reference.
+        let mut best = 0.0_f64;
+        for mask in 0u32..1 << 10 {
+            let (mut tw, mut tv) = (0.0, 0.0);
+            for i in 0..10 {
+                if mask >> i & 1 == 1 {
+                    tw += weights[i];
+                    tv += values[i];
+                }
+            }
+            if tw <= cap {
+                best = best.max(tv);
+            }
+        }
+        assert!((sol.objective() - best).abs() < 1e-6, "got {} want {best}", sol.objective());
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let mut m = Model::new("nl");
+        // A problem that needs branching.
+        let xs: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let e: LinExpr = xs.iter().map(|&v| LinExpr::term(v, 7.3)).sum();
+        m.add_constr("c", e.clone(), Cmp::Le, 40.0).unwrap();
+        m.set_objective(Sense::Maximize, e);
+        let opts = SolveOptions { max_nodes: 1, ..SolveOptions::default() };
+        // One node is not enough to finish branching here.
+        match solve(&m, &opts) {
+            Err(SolveError::NodeLimit { limit: 1 }) => {}
+            Ok(out) => {
+                // If the root LP happened to be integral the solve finishes
+                // in one node; accept that too.
+                assert!(matches!(out, Outcome::Optimal { .. }));
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_constant_offset() {
+        let mut m = Model::new("off");
+        let x = m.add_integer("x", 0.0, 5.0);
+        m.add_constr("c", 1.0 * x, Cmp::Ge, 2.2).unwrap();
+        m.set_objective(Sense::Minimize, 2.0 * x + 10.0);
+        let sol = solve_default(&m).expect_optimal().unwrap();
+        assert_eq!(sol.value_rounded(x), 3);
+        assert!((sol.objective() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_floor_accepts_matching_incumbent() {
+        // Knapsack with known optimum 9 (see knapsack_small). With the floor
+        // set to the optimum, the solver must still return a solution of
+        // exactly that value.
+        let mut m = Model::new("k");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0).unwrap();
+        m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b + 6.0 * c);
+        let opts = SolveOptions { objective_floor: Some(9.0), ..SolveOptions::default() };
+        let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_floor_below_optimum_is_harmless() {
+        // A floor that is *not* attainable (better than the true optimum)
+        // must not stop the search early or corrupt the answer: the solver
+        // simply never reaches it and proves the real optimum.
+        let mut m = Model::new("k");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_constr("cap", 3.0 * a + 4.0 * b, Cmp::Le, 5.0).unwrap();
+        m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b);
+        let opts = SolveOptions { objective_floor: Some(100.0), ..SolveOptions::default() };
+        let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
+        assert!((sol.objective() - 5.0).abs() < 1e-6, "got {}", sol.objective());
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold() {
+        // Same optimum with and without dual-simplex warm starts, across a
+        // family of knapsack-like problems that require branching.
+        for seed in 0..10u64 {
+            let mut m = Model::new("ws");
+            let n = 10;
+            let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+            let w: LinExpr = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| LinExpr::term(v, 7.0 + ((seed + i as u64 * 13) % 17) as f64))
+                .sum();
+            let val: LinExpr = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| LinExpr::term(v, 3.0 + ((seed * 5 + i as u64 * 11) % 23) as f64))
+                .sum();
+            m.add_constr("cap", w, Cmp::Le, 60.0).unwrap();
+            m.set_objective(Sense::Maximize, val);
+
+            let cold = solve(&m, &SolveOptions { warm_start: false, ..SolveOptions::default() })
+                .unwrap()
+                .expect_optimal()
+                .unwrap();
+            let warm = solve(&m, &SolveOptions { warm_start: true, ..SolveOptions::default() })
+                .unwrap()
+                .expect_optimal()
+                .unwrap();
+            assert!(
+                (cold.objective() - warm.objective()).abs() < 1e-6,
+                "seed {seed}: cold {} vs warm {}",
+                cold.objective(),
+                warm.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn pure_feasibility_query() {
+        let mut m = Model::new("feas");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constr("c1", x + y, Cmp::Ge, 1.0).unwrap();
+        m.add_constr("c2", x + y, Cmp::Le, 1.0).unwrap();
+        // No objective.
+        let out = solve_default(&m);
+        assert!(out.is_feasible());
+    }
+}

@@ -1,0 +1,125 @@
+//! The LP/MILP solving engine: options, the public [`Solver`] facade, and the
+//! internal simplex and branch-and-bound implementations.
+
+mod branch_bound;
+mod simplex;
+
+pub(crate) use simplex::{BasisSnapshot, LpOutcome, Simplex};
+
+use crate::error::SolveError;
+use crate::model::Model;
+use crate::solution::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the solver.
+///
+/// The defaults are appropriate for the contract-exploration workloads this
+/// crate was built for; they favour exactness over speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Dual feasibility (reduced-cost) tolerance.
+    pub dual_tol: f64,
+    /// Integrality tolerance: `x` counts as integral if `|x - round(x)| ≤ int_tol`.
+    pub int_tol: f64,
+    /// Absolute optimality gap at which branch-and-bound stops refining.
+    pub abs_gap: f64,
+    /// Maximum simplex pivots per LP relaxation.
+    pub max_simplex_iters: u64,
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: u64,
+    /// Optional wall-clock limit in seconds for a whole solve.
+    pub time_limit_secs: Option<f64>,
+    /// Whether to run the presolve pass before solving.
+    pub presolve: bool,
+    /// Warm-start branch-and-bound children from the parent's optimal basis
+    /// via the dual simplex (falls back to a cold solve on any trouble).
+    ///
+    /// Off by default: with the dense explicit-inverse simplex, reinstalling
+    /// a snapshot costs an `O(m³)` inversion per node, which measures slower
+    /// than cold phase-1 starts on this workload's sizes (see the
+    /// `substrates` bench). The machinery is kept for larger models and for
+    /// the ablation.
+    pub warm_start: bool,
+    /// A proven floor on the objective (model sense): the caller knows no
+    /// feasible solution is better than this. Branch-and-bound stops as soon
+    /// as an incumbent reaches the floor, skipping the (often expensive)
+    /// optimality proof over plateaus of equal-cost solutions. The ContrArc
+    /// exploration sets this to the previous iteration's optimum, which is
+    /// valid because certificate cuts only ever remove solutions.
+    pub objective_floor: Option<f64>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            feas_tol: 1e-7,
+            dual_tol: 1e-7,
+            int_tol: 1e-6,
+            abs_gap: 1e-6,
+            max_simplex_iters: 500_000,
+            max_nodes: 2_000_000,
+            time_limit_secs: None,
+            presolve: true,
+            warm_start: false,
+            objective_floor: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Options with a wall-clock limit.
+    #[must_use]
+    pub fn with_time_limit(mut self, secs: f64) -> Self {
+        self.time_limit_secs = Some(secs);
+        self
+    }
+}
+
+/// Branch-and-bound MILP solver.
+///
+/// A `Solver` is stateless between calls; it exists so options can be
+/// configured once and reused across the many solves of an exploration loop.
+///
+/// ```rust
+/// use contrarc_milp::{Cmp, Model, Sense, SolveOptions, Solver};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = Model::new("int");
+/// let x = m.add_integer("x", 0.0, 10.0);
+/// m.add_constr("c", 2.0 * x, Cmp::Le, 7.0)?;
+/// m.set_objective(Sense::Maximize, 1.0 * x);
+/// let solver = Solver::new(SolveOptions::default());
+/// let sol = solver.solve(&m)?.expect_optimal()?;
+/// assert_eq!(sol.value_rounded(x), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    options: SolveOptions,
+}
+
+impl Solver {
+    /// Create a solver with the given options.
+    #[must_use]
+    pub fn new(options: SolveOptions) -> Self {
+        Solver { options }
+    }
+
+    /// The solver's options.
+    #[must_use]
+    pub fn options(&self) -> &SolveOptions {
+        &self.options
+    }
+
+    /// Solve a model to proven optimality (or infeasibility/unboundedness).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SolveError`] when the model is malformed or an iteration,
+    /// node, or time limit is exhausted before the outcome is proven.
+    pub fn solve(&self, model: &Model) -> Result<Outcome, SolveError> {
+        branch_bound::solve(model, &self.options)
+    }
+}

@@ -1,0 +1,33 @@
+//! # contrarc-systems
+//!
+//! The two cyber-physical case studies the ContrArc paper (DATE 2024)
+//! evaluates on, built as ready-to-explore [`Problem`](contrarc::Problem)
+//! instances:
+//!
+//! * [`rpl`] — a **reconfigurable production line**: two product lines of
+//!   alternating conveyor and machine stages with `n_A`/`n_B` candidate
+//!   slots per stage (Section V-A, Table I, Fig. 5), plus the compositional
+//!   *Comb B* decomposition in [`decompose`];
+//! * [`epn`] — an **aircraft electrical power distribution network**:
+//!   generators → AC buses → rectifier units → DC buses → loads on two
+//!   sides plus APUs, parameterized by the `(L, R, APU)` configurations of
+//!   Table II (Section V-B).
+//!
+//! ```rust
+//! use contrarc::{explore, ExplorerConfig};
+//! use contrarc_systems::epn::{build, EpnConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = build(&EpnConfig::table2(1, 0, 0));
+//! let result = explore(&problem, &ExplorerConfig::complete())?;
+//! assert!(result.architecture().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod epn;
+pub mod rpl;

@@ -1,0 +1,60 @@
+//! Aircraft electrical power network exploration (the paper's Section V-B).
+//!
+//! Runs one `(L, R, APU)` configuration under the three ablation modes of
+//! Table II and prints the comparison.
+//!
+//! Run with: `cargo run --example epn_exploration [L R APU]`
+
+use contrarc::report::render_table;
+use contrarc::{explore, ExplorerConfig};
+use contrarc_systems::epn::{build, EpnConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("L R APU must be numbers"))
+        .collect();
+    let (l, r, a) = match args.as_slice() {
+        [] => (1, 1, 0),
+        [l, r, a] => (*l, *r, *a),
+        _ => panic!("usage: epn_exploration [L R APU]"),
+    };
+    let config = EpnConfig::table2(l, r, a);
+    let problem = build(&config);
+    println!(
+        "EPN ({}) — {} nodes, {} candidate edges\n",
+        config.label(),
+        problem.template.num_nodes(),
+        problem.template.num_candidate_edges()
+    );
+
+    let modes: [(&str, ExplorerConfig); 3] = [
+        ("only subgraph isomorphism", ExplorerConfig::only_iso()),
+        ("only decomposition", ExplorerConfig::only_decomposition()),
+        ("complete ContrArc", ExplorerConfig::complete()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in modes {
+        let result = explore(&problem, &cfg)?;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", result.stats().total_time),
+            result.stats().iterations.to_string(),
+            result.stats().cuts_added.to_string(),
+            result
+                .architecture()
+                .map_or("-".into(), |arch| format!("{:.1}", arch.cost())),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["mode", "time (s)", "iterations", "cuts", "cost"], &rows)
+    );
+
+    let complete = explore(&problem, &ExplorerConfig::complete())?;
+    if let Some(arch) = complete.architecture() {
+        println!("\nselected architecture:\n{}", arch.describe(&problem));
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Quickstart: define a three-stage system template, give each stage a few
+//! implementation choices, and let ContrArc pick the cheapest architecture
+//! that meets an end-to-end latency budget.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use contrarc::attr::{Attrs, COST, FLOW_CONS, FLOW_GEN, LATENCY, THROUGHPUT};
+use contrarc::{
+    explore, ExplorerConfig, FlowSpec, Library, Problem, SystemSpec, Template, TimingSpec,
+    TypeConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The template: a camera feeding one of two candidate processing
+    //    units, feeding an actuator.
+    let mut template = Template::new("vision-pipeline");
+    let cam_t = template.add_type("camera", TypeConfig::source());
+    let proc_t = template.add_type("processor", TypeConfig::bounded(2, 2));
+    let act_t = template.add_type("actuator", TypeConfig::sink());
+
+    let cam = template.add_node("cam", cam_t);
+    let proc_a = template.add_node("proc0", proc_t);
+    let proc_b = template.add_node("proc1", proc_t);
+    let act = template.add_required_node("act", act_t);
+    template.add_candidate_edge(cam, proc_a);
+    template.add_candidate_edge(cam, proc_b);
+    template.add_candidate_edge(proc_a, act);
+    template.add_candidate_edge(proc_b, act);
+
+    // 2. The implementation library: cheaper parts are slower.
+    let mut library = Library::new();
+    library.add(
+        "cam-30fps",
+        cam_t,
+        Attrs::new().with(COST, 2.0).with(FLOW_GEN, 30.0).with(LATENCY, 3.0),
+    );
+    library.add(
+        "mcu",
+        proc_t,
+        Attrs::new().with(COST, 3.0).with(THROUGHPUT, 30.0).with(LATENCY, 25.0),
+    );
+    library.add(
+        "dsp",
+        proc_t,
+        Attrs::new().with(COST, 8.0).with(THROUGHPUT, 60.0).with(LATENCY, 8.0),
+    );
+    library.add(
+        "fpga",
+        proc_t,
+        Attrs::new().with(COST, 20.0).with(THROUGHPUT, 120.0).with(LATENCY, 2.0),
+    );
+    library.add(
+        "servo",
+        act_t,
+        Attrs::new().with(COST, 4.0).with(FLOW_CONS, 24.0).with(LATENCY, 4.0),
+    );
+
+    // 3. System-level contracts: 20 time-units budget, camera→actuator.
+    let spec = SystemSpec {
+        flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+        timing: Some(TimingSpec {
+            max_latency: 20.0,
+            max_input_jitter: 1.0,
+            max_output_jitter: 1.0,
+        }),
+        flow_cap: 200.0,
+        horizon: 1000.0,
+    };
+
+    // 4. Explore.
+    let problem = Problem::new(template, library, spec);
+    let result = explore(&problem, &ExplorerConfig::complete())?;
+    match result.architecture() {
+        Some(arch) => {
+            println!("{}", arch.describe(&problem));
+            println!("stats: {}", result.stats());
+            // The MCU (latency 25) blows the 20-unit budget; the DSP wins.
+        }
+        None => println!("no feasible architecture"),
+    }
+    Ok(())
+}

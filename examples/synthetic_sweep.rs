@@ -1,0 +1,47 @@
+//! Stress-testing the explorer on randomly generated problems: a sweep over
+//! seeds of the synthetic workload generator, reporting per-problem outcomes
+//! and aggregate statistics.
+//!
+//! Run with: `cargo run --release --example synthetic_sweep [count]`
+
+use contrarc::report::render_table;
+use contrarc::synth::{generate, SynthConfig};
+use contrarc::{explore, ExplorerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let count: usize =
+        std::env::args().nth(1).map_or(10, |s| s.parse().expect("count must be a number"));
+    println!("exploring {count} random synthetic problems\n");
+
+    let mut rows = Vec::new();
+    let mut feasible = 0usize;
+    let mut total_iters = 0usize;
+    for seed in 0..count as u64 {
+        let problem = generate(&SynthConfig { seed, ..SynthConfig::default() });
+        let result = explore(&problem, &ExplorerConfig::complete())?;
+        let stats = result.stats();
+        if result.architecture().is_some() {
+            feasible += 1;
+        }
+        total_iters += stats.iterations;
+        rows.push(vec![
+            seed.to_string(),
+            problem.template.num_nodes().to_string(),
+            problem.template.num_candidate_edges().to_string(),
+            stats.iterations.to_string(),
+            format!("{:.2}", stats.total_time),
+            result
+                .architecture()
+                .map_or("infeasible".into(), |a| format!("{:.1}", a.cost())),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["seed", "nodes", "edges", "iters", "time (s)", "cost"], &rows)
+    );
+    println!(
+        "\n{feasible}/{count} feasible, {:.1} iterations on average",
+        total_iters as f64 / count as f64
+    );
+    Ok(())
+}

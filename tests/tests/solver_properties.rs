@@ -1,0 +1,213 @@
+//! Property tests of the MILP solver against brute-force enumeration.
+
+use contrarc_milp::{Cmp, LinExpr, Model, Sense, SolveOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random pure-binary MILP with `n ≤ 12` variables and a handful of ≤/≥/=
+/// constraints, solvable by brute force.
+struct RandomBip {
+    n: usize,
+    constrs: Vec<(Vec<f64>, Cmp, f64)>,
+    obj: Vec<f64>,
+    maximize: bool,
+}
+
+fn random_bip(seed: u64) -> RandomBip {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(2..=9);
+    let m = rng.random_range(1..=5);
+    let mut constrs = Vec::new();
+    for _ in 0..m {
+        let coeffs: Vec<f64> =
+            (0..n).map(|_| f64::from(rng.random_range(-4..=6))).collect();
+        let cmp = match rng.random_range(0..6) {
+            0 => Cmp::Ge,
+            1 => Cmp::Eq,
+            _ => Cmp::Le, // bias toward satisfiable systems
+        };
+        let rhs = f64::from(rng.random_range(-2..=10));
+        constrs.push((coeffs, cmp, rhs));
+    }
+    let obj: Vec<f64> = (0..n).map(|_| f64::from(rng.random_range(-5..=9))).collect();
+    RandomBip { n, constrs, obj, maximize: rng.random_bool(0.5) }
+}
+
+fn brute_force(p: &RandomBip) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let x: Vec<f64> = (0..p.n).map(|i| f64::from(mask >> i & 1)).collect();
+        let ok = p.constrs.iter().all(|(coeffs, cmp, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            match cmp {
+                Cmp::Le => lhs <= rhs + 1e-9,
+                Cmp::Ge => lhs >= rhs - 1e-9,
+                Cmp::Eq => (lhs - rhs).abs() <= 1e-9,
+            }
+        });
+        if !ok {
+            continue;
+        }
+        let val: f64 = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+        best = Some(match best {
+            None => val,
+            Some(b) if p.maximize => b.max(val),
+            Some(b) => b.min(val),
+        });
+    }
+    best
+}
+
+fn solve_with_milp(p: &RandomBip) -> Option<f64> {
+    let mut model = Model::new("bip");
+    let vars: Vec<_> = (0..p.n).map(|i| model.add_binary(format!("x{i}"))).collect();
+    for (k, (coeffs, cmp, rhs)) in p.constrs.iter().enumerate() {
+        let expr = LinExpr::weighted_sum(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)));
+        model.add_constr(format!("c{k}"), expr, *cmp, *rhs).unwrap();
+    }
+    let obj = LinExpr::weighted_sum(vars.iter().zip(&p.obj).map(|(&v, &c)| (v, c)));
+    let sense = if p.maximize { Sense::Maximize } else { Sense::Minimize };
+    model.set_objective(sense, obj);
+    let outcome = model.solve(&SolveOptions::default()).expect("no solver error");
+    outcome.solution().map(contrarc_milp::Solution::objective)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The solver matches brute force on both feasibility and objective.
+    #[test]
+    fn milp_matches_brute_force(seed in 0u64..5000) {
+        let p = random_bip(seed);
+        let expect = brute_force(&p);
+        let got = solve_with_milp(&p);
+        match (expect, got) {
+            (None, None) => {}
+            (Some(e), Some(g)) => prop_assert!(
+                (e - g).abs() < 1e-6,
+                "seed {seed}: brute force {e}, solver {g}"
+            ),
+            (e, g) => prop_assert!(false, "seed {seed}: feasibility mismatch {e:?} vs {g:?}"),
+        }
+    }
+
+    /// Optimal solutions returned by the solver are genuinely feasible.
+    #[test]
+    fn solutions_are_feasible(seed in 5000u64..8000) {
+        let p = random_bip(seed);
+        let mut model = Model::new("bip");
+        let vars: Vec<_> = (0..p.n).map(|i| model.add_binary(format!("x{i}"))).collect();
+        for (k, (coeffs, cmp, rhs)) in p.constrs.iter().enumerate() {
+            let expr = LinExpr::weighted_sum(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)));
+            model.add_constr(format!("c{k}"), expr, *cmp, *rhs).unwrap();
+        }
+        let obj = LinExpr::weighted_sum(vars.iter().zip(&p.obj).map(|(&v, &c)| (v, c)));
+        model.set_objective(if p.maximize { Sense::Maximize } else { Sense::Minimize }, obj);
+        let outcome = model.solve(&SolveOptions::default()).unwrap();
+        if let Some(sol) = outcome.solution() {
+            prop_assert!(model.is_feasible_point(sol.values(), 1e-6));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Metamorphic property: the optimum is invariant under positive row
+    /// scaling and constraint reordering.
+    #[test]
+    fn optimum_invariant_under_row_scaling(seed in 0u64..2000) {
+        let p = random_bip(seed.wrapping_mul(97).wrapping_add(41));
+        let base = solve_with_milp(&p);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scaled = RandomBip {
+            n: p.n,
+            constrs: p
+                .constrs
+                .iter()
+                .map(|(c, cmp, r)| {
+                    let f = 10f64.powf(rng.random_range(-3.0..3.0));
+                    (c.iter().map(|x| x * f).collect(), *cmp, r * f)
+                })
+                .collect(),
+            obj: p.obj.clone(),
+            maximize: p.maximize,
+        };
+        // Shuffle constraint order deterministically.
+        let len = scaled.constrs.len().max(1);
+        scaled.constrs.rotate_left(seed as usize % len);
+
+        let transformed = solve_with_milp(&scaled);
+        match (base, transformed) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() < 1e-5 * (1.0 + a.abs()),
+                "seed {seed}: {a} vs {b}"
+            ),
+            (a, b) => prop_assert!(false, "seed {seed}: feasibility flip {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Metamorphic property: adding a redundant constraint (implied by an
+    /// existing one) never changes the optimum.
+    #[test]
+    fn optimum_invariant_under_redundant_rows(seed in 0u64..1000) {
+        let p = random_bip(seed.wrapping_mul(31).wrapping_add(7));
+        let base = solve_with_milp(&p);
+        let mut with_redundant = RandomBip {
+            n: p.n,
+            constrs: p.constrs.clone(),
+            obj: p.obj.clone(),
+            maximize: p.maximize,
+        };
+        // Duplicate the first constraint with a slacker rhs.
+        if let Some((c, cmp, r)) = p.constrs.first() {
+            let slack_rhs = match cmp {
+                Cmp::Le => r + 5.0,
+                Cmp::Ge => r - 5.0,
+                Cmp::Eq => *r, // exact duplicate
+            };
+            with_redundant.constrs.push((c.clone(), *cmp, slack_rhs));
+        }
+        let got = solve_with_milp(&with_redundant);
+        match (base, got) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6),
+            (a, b) => prop_assert!(false, "seed {seed}: feasibility flip {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Mixed problems with continuous variables against a hand-computable family:
+/// knapsack with a fractional side-channel.
+#[test]
+fn mixed_integer_family() {
+    for k in 1..=8 {
+        let cap = f64::from(k) * 2.5;
+        let mut model = Model::new("mix");
+        let x = model.add_binary("x"); // worth 10, weight 2
+        let y = model.add_binary("y"); // worth 7, weight 2
+        let z = model.add_continuous("z", 0.0, 1.0); // worth 3/unit, weight 1
+        model
+            .add_constr("cap", 2.0 * x + 2.0 * y + 1.0 * z, Cmp::Le, cap)
+            .unwrap();
+        model.set_objective(Sense::Maximize, 10.0 * x + 7.0 * y + 3.0 * z);
+        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        // Reference by small enumeration over the binaries.
+        let mut best = f64::NEG_INFINITY;
+        for (bx, by) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let w = 2.0 * bx + 2.0 * by;
+            if w <= cap {
+                let zv = (cap - w).min(1.0);
+                best = best.max(10.0 * bx + 7.0 * by + 3.0 * zv);
+            }
+        }
+        assert!(
+            (sol.objective() - best).abs() < 1e-6,
+            "cap {cap}: got {}, want {best}",
+            sol.objective()
+        );
+    }
+}
