@@ -10,10 +10,14 @@ use contrarc_systems::rpl::{build, RplConfig, RplLines};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+/// Instance sizes to bench; n = 1 keeps CI fast, larger values reproduce
+/// the figure's scaling curves.
+const SIZES: &[usize] = &[1];
+
 fn bench_fig5a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5a");
     group.sample_size(10);
-    for n in [1usize] {
+    for &n in SIZES {
         let problem = build(&RplConfig::symmetric(n), RplLines::Both);
         group.bench_function(format!("contrarc/n{n}"), |b| {
             b.iter(|| {
@@ -34,19 +38,19 @@ fn bench_fig5a(c: &mut Criterion) {
 fn bench_fig5b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5b");
     group.sample_size(10);
-    for n in [1usize] {
+    for &n in SIZES {
         let config = RplConfig::symmetric(n);
         group.bench_function(format!("monolithic/n{n}"), |b| {
             b.iter(|| {
-                let r = explore_monolithic(black_box(&config), &ExplorerConfig::complete())
-                    .unwrap();
+                let r =
+                    explore_monolithic(black_box(&config), &ExplorerConfig::complete()).unwrap();
                 black_box(r.stats().iterations)
             });
         });
         group.bench_function(format!("compositional/n{n}"), |b| {
             b.iter(|| {
-                let r = explore_decomposed(black_box(&config), &ExplorerConfig::complete())
-                    .unwrap();
+                let r =
+                    explore_decomposed(black_box(&config), &ExplorerConfig::complete()).unwrap();
                 black_box(r.total_time)
             });
         });

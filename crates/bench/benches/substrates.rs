@@ -10,16 +10,21 @@ use std::hint::black_box;
 /// A layered assignment-like MILP of the shape the encoder produces.
 fn layered_milp(layers: usize, width: usize) -> Model {
     let mut m = Model::new("layered");
-    let mut prev: Vec<_> = (0..width).map(|i| m.add_binary(format!("l0_{i}"))).collect();
+    let mut prev: Vec<_> = (0..width)
+        .map(|i| m.add_binary(format!("l0_{i}")))
+        .collect();
     let mut cost = LinExpr::new();
     for l in 1..layers {
-        let cur: Vec<_> =
-            (0..width).map(|i| m.add_binary(format!("l{l}_{i}"))).collect();
+        let cur: Vec<_> = (0..width)
+            .map(|i| m.add_binary(format!("l{l}_{i}")))
+            .collect();
         // Flow-like coupling between consecutive layers.
         let sum_prev = LinExpr::sum(prev.iter().copied());
         let sum_cur = LinExpr::sum(cur.iter().copied());
-        m.add_constr(format!("link{l}"), sum_prev - sum_cur.clone(), Cmp::Eq, 0.0).unwrap();
-        m.add_constr(format!("min{l}"), sum_cur, Cmp::Ge, 1.0).unwrap();
+        m.add_constr(format!("link{l}"), sum_prev - sum_cur.clone(), Cmp::Eq, 0.0)
+            .unwrap();
+        m.add_constr(format!("min{l}"), sum_cur, Cmp::Ge, 1.0)
+            .unwrap();
         for (i, &v) in cur.iter().enumerate() {
             cost.add_term(v, 1.0 + (i as f64) * 0.37 + (l as f64) * 0.11);
         }

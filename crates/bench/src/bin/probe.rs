@@ -38,17 +38,28 @@ fn main() {
                 e.architecture().map(contrarc::Architecture::cost),
                 t0.elapsed().as_secs_f64()
             ),
-            Err(err) => eprintln!("ARCHEX error after {:.2}s: {err}", t0.elapsed().as_secs_f64()),
+            Err(err) => eprintln!(
+                "ARCHEX error after {:.2}s: {err}",
+                t0.elapsed().as_secs_f64()
+            ),
         }
         return;
     }
     let mut ex = Explorer::new(&p, cfg).unwrap();
-    eprintln!("model: {} vars {} constraints", ex.stats().milp_vars, ex.stats().milp_constraints);
+    eprintln!(
+        "model: {} vars {} constraints",
+        ex.stats().milp_vars,
+        ex.stats().milp_constraints
+    );
     let t0 = Instant::now();
     loop {
         let it = Instant::now();
         match ex.step().unwrap() {
-            Step::Pruned { candidate, violations, cuts_added } => {
+            Step::Pruned {
+                candidate,
+                violations,
+                cuts_added,
+            } => {
                 eprintln!(
                     "iter {:3}: {:6.2}s cost {:6.1} violations {} cuts+{} (total cuts {})",
                     ex.stats().iterations,
@@ -60,11 +71,29 @@ fn main() {
                 );
             }
             Step::Optimal(a) => {
-                eprintln!("OPTIMAL {:.1} after {} iters, {:.2}s", a.cost(), ex.stats().iterations, t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "OPTIMAL {:.1} after {} iters, {:.2}s",
+                    a.cost(),
+                    ex.stats().iterations,
+                    t0.elapsed().as_secs_f64()
+                );
                 break;
             }
             Step::Infeasible => {
-                eprintln!("INFEASIBLE after {} iters, {:.2}s", ex.stats().iterations, t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "INFEASIBLE after {} iters, {:.2}s",
+                    ex.stats().iterations,
+                    t0.elapsed().as_secs_f64()
+                );
+                break;
+            }
+            Step::Exhausted(reason) => {
+                eprintln!(
+                    "EXHAUSTED ({reason}) after {} iters, {:.2}s; incumbent {:?}",
+                    ex.stats().iterations,
+                    t0.elapsed().as_secs_f64(),
+                    ex.incumbent().map(contrarc::Architecture::cost),
+                );
                 break;
             }
         }

@@ -12,7 +12,11 @@ fn main() {
         .collect();
     let config = match args.as_slice() {
         [] => RplConfig::default(),
-        [na, nb] => RplConfig { n_a: *na, n_b: *nb, ..RplConfig::default() },
+        [na, nb] => RplConfig {
+            n_a: *na,
+            n_b: *nb,
+            ..RplConfig::default()
+        },
         _ => panic!("usage: table1 [n_a n_b]"),
     };
     println!("=== Table I: template and library for the RPL example ===\n");

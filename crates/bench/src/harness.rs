@@ -74,8 +74,7 @@ pub fn run_fig5a(ns: &[usize]) -> Vec<Fig5aRow> {
     ns.iter()
         .map(|&n| {
             let problem = build_rpl(&RplConfig::symmetric(n), RplLines::Both);
-            let contrarc =
-                explore_limited(&problem, &limited_explorer(ExplorerConfig::complete()));
+            let contrarc = explore_limited(&problem, &limited_explorer(ExplorerConfig::complete()));
             let archex = match solve_monolithic(&problem, &limited_solve_options()) {
                 Ok(e) => Some(e),
                 Err(
@@ -127,7 +126,15 @@ pub fn render_fig5a(rows: &[Fig5aRow]) -> String {
         })
         .collect();
     render_table(
-        &["n", "ContrArc (s)", "ArchEx (s)", "speedup", "iters", "cost", "cost(ArchEx)"],
+        &[
+            "n",
+            "ContrArc (s)",
+            "ArchEx (s)",
+            "speedup",
+            "iters",
+            "cost",
+            "cost(ArchEx)",
+        ],
         &body,
     )
 }
@@ -219,12 +226,20 @@ pub fn render_fig5b(rows: &[Fig5bRow]) -> String {
                 fmt_time(r.compositional_time),
                 format!("{:.1}x", r.monolithic_time / r.compositional_time.max(1e-9)),
                 r.monolithic_cost.map_or("-".into(), |c| format!("{c:.1}")),
-                r.compositional_cost.map_or("-".into(), |c| format!("{c:.1}")),
+                r.compositional_cost
+                    .map_or("-".into(), |c| format!("{c:.1}")),
             ]
         })
         .collect();
     render_table(
-        &["n", "monolithic (s)", "compositional (s)", "speedup", "cost", "cost(comp)"],
+        &[
+            "n",
+            "monolithic (s)",
+            "compositional (s)",
+            "speedup",
+            "cost",
+            "cost(comp)",
+        ],
         &body,
     )
 }
@@ -270,12 +285,12 @@ fn cell(e: &Exploration) -> Table2Cell {
 #[must_use]
 pub fn run_table2_row(config: &EpnConfig) -> Table2Row {
     let problem = build_epn(config);
-    let only_iso =
-        explore_limited(&problem, &limited_explorer(ExplorerConfig::only_iso()));
-    let only_dec =
-        explore_limited(&problem, &limited_explorer(ExplorerConfig::only_decomposition()));
-    let complete =
-        explore_limited(&problem, &limited_explorer(ExplorerConfig::complete()));
+    let only_iso = explore_limited(&problem, &limited_explorer(ExplorerConfig::only_iso()));
+    let only_dec = explore_limited(
+        &problem,
+        &limited_explorer(ExplorerConfig::only_decomposition()),
+    );
+    let complete = explore_limited(&problem, &limited_explorer(ExplorerConfig::complete()));
     if let (Some(c), Some(i)) = (&complete, &only_iso) {
         assert_eq!(
             c.architecture().map(|a| (a.cost() * 1e6).round()),
@@ -283,9 +298,15 @@ pub fn run_table2_row(config: &EpnConfig) -> Table2Row {
             "ablation modes must agree on the optimum"
         );
     }
-    let timeout_cell =
-        || Table2Cell { time: time_limit_secs(), iterations: 0, cost: None };
-    let stats = complete.as_ref().or(only_iso.as_ref()).or(only_dec.as_ref());
+    let timeout_cell = || Table2Cell {
+        time: time_limit_secs(),
+        iterations: 0,
+        cost: None,
+    };
+    let stats = complete
+        .as_ref()
+        .or(only_iso.as_ref())
+        .or(only_dec.as_ref());
     Table2Row {
         label: config.label(),
         vars: stats.map_or(0, |e| e.stats().milp_vars),
@@ -369,8 +390,15 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     }
     render_table(
         &[
-            "Max # in T", "# vars", "# constrs", "iso (s)", "iso iters", "dec (s)",
-            "dec iters", "complete (s)", "complete iters",
+            "Max # in T",
+            "# vars",
+            "# constrs",
+            "iso (s)",
+            "iso iters",
+            "dec (s)",
+            "dec iters",
+            "complete (s)",
+            "complete iters",
         ],
         &body,
     )
@@ -401,7 +429,10 @@ pub fn render_table1(config: &RplConfig) -> String {
             problem.library.impls_of_type(ty).len().to_string(),
         ]);
     }
-    out.push_str(&render_table(&["component type", "# nodes in T", "# impls in L"], &type_rows));
+    out.push_str(&render_table(
+        &["component type", "# nodes in T", "# impls in L"],
+        &type_rows,
+    ));
     out.push('\n');
 
     let impl_rows: Vec<Vec<String>> = problem
@@ -436,7 +467,14 @@ pub fn render_table1(config: &RplConfig) -> String {
         })
         .collect();
     out.push_str(&render_table(
-        &["implementation", "type", "cost c", "latency", "throughput f^P", "flow f^S/f^C"],
+        &[
+            "implementation",
+            "type",
+            "cost c",
+            "latency",
+            "throughput f^P",
+            "flow f^S/f^C",
+        ],
         &impl_rows,
     ));
     out
@@ -478,9 +516,21 @@ mod tests {
             label: "1,0,0".into(),
             vars: 10,
             constraints: 5,
-            only_iso: Table2Cell { time: 1.0, iterations: 3, cost: Some(1.0) },
-            only_dec: Table2Cell { time: 2.0, iterations: 6, cost: Some(1.0) },
-            complete: Table2Cell { time: 0.5, iterations: 2, cost: Some(1.0) },
+            only_iso: Table2Cell {
+                time: 1.0,
+                iterations: 3,
+                cost: Some(1.0),
+            },
+            only_dec: Table2Cell {
+                time: 2.0,
+                iterations: 6,
+                cost: Some(1.0),
+            },
+            complete: Table2Cell {
+                time: 0.5,
+                iterations: 2,
+                cost: Some(1.0),
+            },
         }];
         let text = render_table2(&rows);
         assert!(text.contains("Average"));

@@ -33,7 +33,11 @@ impl Contract {
     /// Create a contract from assumptions and guarantees.
     #[must_use]
     pub fn new(name: impl Into<String>, assumptions: Pred, guarantees: Pred) -> Self {
-        Contract { name: name.into(), assumptions, guarantees }
+        Contract {
+            name: name.into(),
+            assumptions,
+            guarantees,
+        }
     }
 
     /// A contract with no obligations in either direction (the identity of
@@ -102,8 +106,7 @@ impl Contract {
             [only] => (*only).clone(),
             many => {
                 let g = Pred::all(many.iter().map(|c| c.saturated_guarantees()));
-                let a = Pred::all(many.iter().map(|c| c.assumptions.clone()))
-                    .or(g.clone().not());
+                let a = Pred::all(many.iter().map(|c| c.assumptions.clone())).or(g.clone().not());
                 let name = many
                     .iter()
                     .map(|c| c.name.as_str())
@@ -119,7 +122,9 @@ impl Contract {
     #[must_use]
     pub fn conjoin(&self, other: &Contract) -> Contract {
         let a = self.assumptions.clone().or(other.assumptions.clone());
-        let g = self.saturated_guarantees().and(other.saturated_guarantees());
+        let g = self
+            .saturated_guarantees()
+            .and(other.saturated_guarantees());
         Contract::new(format!("{}∧{}", self.name, other.name), a, g)
     }
 
@@ -155,7 +160,11 @@ impl Contract {
 
 impl fmt::Display for Contract {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "contract {}: A = {}, G = {}", self.name, self.assumptions, self.guarantees)
+        write!(
+            f,
+            "contract {}: A = {}, G = {}",
+            self.name, self.assumptions, self.guarantees
+        )
     }
 }
 

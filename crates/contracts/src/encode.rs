@@ -64,7 +64,12 @@ fn encode(
             match guard {
                 // Unconditionally false: 0 ≥ 1.
                 None => {
-                    model.add_constr(format!("{tag}.false"), contrarc_milp::LinExpr::new(), Cmp::Ge, 1.0)?;
+                    model.add_constr(
+                        format!("{tag}.false"),
+                        contrarc_milp::LinExpr::new(),
+                        Cmp::Ge,
+                        1.0,
+                    )?;
                 }
                 // Guard must be off.
                 Some(g) => {
@@ -172,8 +177,14 @@ mod tests {
     fn conjunction_feasibility() {
         let mut voc = Vocabulary::new();
         let x = voc.add_continuous("x", 0.0, 10.0);
-        assert!(feasible(&voc, &Pred::le(1.0 * x, 5.0).and(Pred::ge(1.0 * x, 2.0))));
-        assert!(!feasible(&voc, &Pred::le(1.0 * x, 1.0).and(Pred::ge(1.0 * x, 2.0))));
+        assert!(feasible(
+            &voc,
+            &Pred::le(1.0 * x, 5.0).and(Pred::ge(1.0 * x, 2.0))
+        ));
+        assert!(!feasible(
+            &voc,
+            &Pred::le(1.0 * x, 1.0).and(Pred::ge(1.0 * x, 2.0))
+        ));
     }
 
     #[test]
@@ -223,7 +234,11 @@ mod tests {
         let mut model = voc.instantiate("q").unwrap();
         assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
         model.set_objective(Sense::Maximize, LinExpr::var(x));
-        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!(sol.value(x) <= 1.0 + 1e-6);
         assert!((sol.value(y) - 5.0).abs() < 1e-6);
     }
@@ -240,13 +255,21 @@ mod tests {
         let mut model = voc.instantiate("q").unwrap();
         assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
         model.set_objective(Sense::Minimize, x + y);
-        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!(sol.objective() <= 2.0 + 1e-6);
         // And maximize → both at least 9 each.
         let mut model = voc.instantiate("q2").unwrap();
         assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
         model.set_objective(Sense::Maximize, x + y);
-        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!((sol.objective() - 20.0).abs() < 1e-6);
     }
 
@@ -257,7 +280,10 @@ mod tests {
         let p = Pred::le(1.0 * x, 1.0).or(Pred::le(1.0 * x, 2.0));
         let mut model = voc.instantiate("q").unwrap();
         let err = assert_pred(&mut model, &p, "p", &EncodeOptions::default());
-        assert!(err.is_err(), "guarded ≤ over an unbounded variable must be refused");
+        assert!(
+            err.is_err(),
+            "guarded ≤ over an unbounded variable must be refused"
+        );
     }
 
     #[test]
@@ -277,7 +303,11 @@ mod tests {
         let mut model = voc.instantiate("q").unwrap();
         assert_pred(&mut model, &p, "p", &EncodeOptions::default()).unwrap();
         model.set_objective(Sense::Minimize, LinExpr::var(x));
-        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
     }
 

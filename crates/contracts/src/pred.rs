@@ -84,7 +84,11 @@ impl Atom {
     /// Build an atom.
     #[must_use]
     pub fn new(expr: impl Into<LinExpr>, cmp: AtomCmp, rhs: f64) -> Self {
-        Atom { expr: expr.into(), cmp, rhs }
+        Atom {
+            expr: expr.into(),
+            cmp,
+            rhs,
+        }
     }
 }
 
@@ -105,9 +109,10 @@ impl fmt::Display for Atom {
 /// assert!(p.eval(&[3.0], 1e-9));
 /// assert!(!p.eval(&[7.0], 1e-9));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum Pred {
     /// Always true.
+    #[default]
     True,
     /// Always false.
     False,
@@ -121,12 +126,6 @@ pub enum Pred {
     Not(Box<Pred>),
     /// Implication `lhs → rhs`.
     Implies(Box<Pred>, Box<Pred>),
-}
-
-impl Default for Pred {
-    fn default() -> Self {
-        Pred::True
-    }
 }
 
 impl Pred {
@@ -391,12 +390,21 @@ mod tests {
 
     #[test]
     fn constructors_simplify_constants() {
-        assert_eq!(Pred::True.and(Pred::le(1.0 * v(0), 1.0)), Pred::le(1.0 * v(0), 1.0));
+        assert_eq!(
+            Pred::True.and(Pred::le(1.0 * v(0), 1.0)),
+            Pred::le(1.0 * v(0), 1.0)
+        );
         assert_eq!(Pred::False.and(Pred::le(1.0 * v(0), 1.0)), Pred::False);
         assert_eq!(Pred::True.or(Pred::le(1.0 * v(0), 1.0)), Pred::True);
-        assert_eq!(Pred::False.or(Pred::le(1.0 * v(0), 1.0)), Pred::le(1.0 * v(0), 1.0));
+        assert_eq!(
+            Pred::False.or(Pred::le(1.0 * v(0), 1.0)),
+            Pred::le(1.0 * v(0), 1.0)
+        );
         assert_eq!(Pred::True.not(), Pred::False);
-        assert_eq!(Pred::le(1.0 * v(0), 1.0).not().not(), Pred::le(1.0 * v(0), 1.0));
+        assert_eq!(
+            Pred::le(1.0 * v(0), 1.0).not().not(),
+            Pred::le(1.0 * v(0), 1.0)
+        );
     }
 
     #[test]
@@ -429,7 +437,10 @@ mod tests {
     #[test]
     fn nnf_pushes_negation_to_atoms() {
         let x = v(0);
-        let p = Pred::le(1.0 * x, 5.0).and(Pred::ge(1.0 * x, 2.0)).not().nnf();
+        let p = Pred::le(1.0 * x, 5.0)
+            .and(Pred::ge(1.0 * x, 2.0))
+            .not()
+            .nnf();
         // ¬(x ≤ 5 ∧ x ≥ 2) = x > 5 ∨ x < 2
         match &p {
             Pred::Or(kids) => {
@@ -475,8 +486,14 @@ mod tests {
             Pred::le(1.0 * x, 2.0).or(Pred::ge(1.0 * y, 3.0)).not(),
             Pred::abs_le(1.0 * x - 1.0 * y, 0.0, 1.0),
         ];
-        let samples =
-            [[0.0, 0.0], [1.0, 2.0], [2.5, 0.1], [3.0, 3.0], [0.4, 4.2], [2.0, 2.0]];
+        let samples = [
+            [0.0, 0.0],
+            [1.0, 2.0],
+            [2.5, 0.1],
+            [3.0, 3.0],
+            [0.4, 4.2],
+            [2.0, 2.0],
+        ];
         for p in preds {
             let n = p.nnf();
             for s in &samples {
@@ -487,7 +504,9 @@ mod tests {
 
     #[test]
     fn free_vars_collected() {
-        let p = Pred::le(1.0 * v(0) + 2.0 * v(3), 1.0).and(Pred::ge(1.0 * v(1), 0.0)).not();
+        let p = Pred::le(1.0 * v(0) + 2.0 * v(3), 1.0)
+            .and(Pred::ge(1.0 * v(1), 0.0))
+            .not();
         let vars = p.free_vars();
         assert_eq!(vars.len(), 3);
         assert!(vars.contains(&v(3)));

@@ -107,7 +107,10 @@ impl RefinementChecker {
     /// Checker with explicit options.
     #[must_use]
     pub fn with_options(solve_options: SolveOptions, encode_options: EncodeOptions) -> Self {
-        RefinementChecker { solve_options, encode_options }
+        RefinementChecker {
+            solve_options,
+            encode_options,
+        }
     }
 
     /// Satisfiability of a predicate over the vocabulary; returns a witness
@@ -162,14 +165,19 @@ impl RefinementChecker {
         c_prime: &Contract,
     ) -> Result<Refinement, SolveError> {
         // Condition 1: A' ∧ ¬A UNSAT.
-        let a_query = c_prime.assumptions().clone().and(c.assumptions().clone().not());
+        let a_query = c_prime
+            .assumptions()
+            .clone()
+            .and(c.assumptions().clone().not());
         if let Some(witness) = self.satisfiable(voc, &a_query)? {
             return Ok(Refinement {
                 failure: Some((RefinementFailure::Assumptions, witness)),
             });
         }
         // Condition 2: sat(G) ∧ ¬sat(G') UNSAT.
-        let g_query = c.saturated_guarantees().and(c_prime.saturated_guarantees().not());
+        let g_query = c
+            .saturated_guarantees()
+            .and(c_prime.saturated_guarantees().not());
         if let Some(witness) = self.satisfiable(voc, &g_query)? {
             return Ok(Refinement {
                 failure: Some((RefinementFailure::Guarantees, witness)),
@@ -215,7 +223,10 @@ mod tests {
         assert_eq!(*kind, RefinementFailure::Guarantees);
         // The witness is a behaviour the weak contract allows but the strong
         // one forbids: 3 < x ≤ 5.
-        assert!(witness[0] > 3.0 && witness[0] <= 5.0 + 1e-6, "witness {witness:?}");
+        assert!(
+            witness[0] > 3.0 && witness[0] <= 5.0 + 1e-6,
+            "witness {witness:?}"
+        );
     }
 
     #[test]
@@ -288,13 +299,14 @@ mod tests {
         let lat2 = voc.add_continuous("lat2", 0.0, 100.0);
         let c1 = Contract::new("m1", Pred::True, Pred::le(1.0 * lat1, 10.0));
         let c2 = Contract::new("m2", Pred::True, Pred::le(1.0 * lat2, 20.0));
-        let system_spec =
-            Contract::new("sys", Pred::True, Pred::le(1.0 * lat1 + 1.0 * lat2, 30.0));
-        let tight_spec =
-            Contract::new("sys2", Pred::True, Pred::le(1.0 * lat1 + 1.0 * lat2, 25.0));
+        let system_spec = Contract::new("sys", Pred::True, Pred::le(1.0 * lat1 + 1.0 * lat2, 30.0));
+        let tight_spec = Contract::new("sys2", Pred::True, Pred::le(1.0 * lat1 + 1.0 * lat2, 25.0));
         let composed = c1.compose(&c2);
         let checker = RefinementChecker::new();
-        assert!(checker.check(&voc, &composed, &system_spec).unwrap().holds());
+        assert!(checker
+            .check(&voc, &composed, &system_spec)
+            .unwrap()
+            .holds());
         let r = checker.check(&voc, &composed, &tight_spec).unwrap();
         assert!(!r.holds(), "25 cannot be met by 10+20 components");
         assert_eq!(*r.failure().unwrap().0, RefinementFailure::Guarantees);
@@ -304,7 +316,9 @@ mod tests {
     fn refinement_display() {
         let r = Refinement { failure: None };
         assert!(r.to_string().contains("holds"));
-        let f = Refinement { failure: Some((RefinementFailure::Guarantees, vec![])) };
+        let f = Refinement {
+            failure: Some((RefinementFailure::Guarantees, vec![])),
+        };
         assert!(f.to_string().contains("fails"));
     }
 }

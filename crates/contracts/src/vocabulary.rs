@@ -77,7 +77,10 @@ impl Vocabulary {
             !self.by_name.contains_key(&name),
             "variable `{name}` already declared in this vocabulary"
         );
-        assert!(!lb.is_nan() && !ub.is_nan() && lb <= ub, "invalid bounds for `{name}`");
+        assert!(
+            !lb.is_nan() && !ub.is_nan() && lb <= ub,
+            "invalid bounds for `{name}`"
+        );
         let id = VarId::from_index(self.defs.len());
         self.by_name.insert(name.clone(), id);
         self.defs.push(VarDecl { name, ty, lb, ub });

@@ -57,25 +57,31 @@ pub fn solve_monolithic(
         let lat_sel: Vec<LinExpr> = t
             .node_ids()
             .map(|n| {
-                LinExpr::weighted_sum(enc.map_vars[n.index()].iter().map(|&(x, v)| {
-                    (v, lib.attr(x, attr::LATENCY).min(big_m))
-                }))
+                LinExpr::weighted_sum(
+                    enc.map_vars[n.index()]
+                        .iter()
+                        .map(|&(x, v)| (v, lib.attr(x, attr::LATENCY).min(big_m))),
+                )
             })
             .collect();
         let jout_sel: Vec<LinExpr> = t
             .node_ids()
             .map(|n| {
-                LinExpr::weighted_sum(enc.map_vars[n.index()].iter().map(|&(x, v)| {
-                    (v, lib.attr(x, attr::JITTER_OUT).min(jitter_cap))
-                }))
+                LinExpr::weighted_sum(
+                    enc.map_vars[n.index()]
+                        .iter()
+                        .map(|&(x, v)| (v, lib.attr(x, attr::JITTER_OUT).min(jitter_cap))),
+                )
             })
             .collect();
         let jin_sel: Vec<LinExpr> = t
             .node_ids()
             .map(|n| {
-                LinExpr::weighted_sum(enc.map_vars[n.index()].iter().map(|&(x, v)| {
-                    (v, lib.attr(x, attr::JITTER_IN).min(jitter_cap))
-                }))
+                LinExpr::weighted_sum(
+                    enc.map_vars[n.index()]
+                        .iter()
+                        .map(|&(x, v)| (v, lib.attr(x, attr::JITTER_IN).min(jitter_cap))),
+                )
             })
             .collect();
 
@@ -103,8 +109,7 @@ pub fn solve_monolithic(
                 // jin_s ≥ J_s^I − M(1−β).
                 enc.model.add_constr(
                     format!("src_jin[{}]", info.name),
-                    jin_sel[n.index()].clone()
-                        + LinExpr::term(enc.beta_vars[n.index()], -big_m),
+                    jin_sel[n.index()].clone() + LinExpr::term(enc.beta_vars[n.index()], -big_m),
                     Cmp::Ge,
                     ts.max_input_jitter - big_m,
                 )?;
@@ -121,8 +126,7 @@ pub fn solve_monolithic(
                 // jout_k ≤ J_s^O + M(1−β).
                 enc.model.add_constr(
                     format!("snk_jout[{}]", info.name),
-                    jout_sel[n.index()].clone()
-                        + LinExpr::term(enc.beta_vars[n.index()], big_m),
+                    jout_sel[n.index()].clone() + LinExpr::term(enc.beta_vars[n.index()], big_m),
                     Cmp::Le,
                     ts.max_output_jitter + big_m,
                 )?;
@@ -137,11 +141,13 @@ pub fn solve_monolithic(
                 - jout_sel[a.index()].clone()
                 - lat_sel[b.index()].clone()
                 + LinExpr::term(ev, -big_m);
-            enc.model.add_constr(format!("prop[{}]", e.index()), lhs, Cmp::Ge, -big_m)?;
+            enc.model
+                .add_constr(format!("prop[{}]", e.index()), lhs, Cmp::Ge, -big_m)?;
             // e → jout_a ≤ jin_b.
-            let lhs2 = jout_sel[a.index()].clone() - jin_sel[b.index()].clone()
-                + LinExpr::term(ev, big_m);
-            enc.model.add_constr(format!("jcomp[{}]", e.index()), lhs2, Cmp::Le, big_m)?;
+            let lhs2 =
+                jout_sel[a.index()].clone() - jin_sel[b.index()].clone() + LinExpr::term(ev, big_m);
+            enc.model
+                .add_constr(format!("jcomp[{}]", e.index()), lhs2, Cmp::Le, big_m)?;
         }
     }
 
@@ -158,8 +164,10 @@ pub fn solve_monolithic(
                 total_cons.add_term(v, lib.attr(x, attr::FLOW_CONS).min(spec.flow_cap));
             }
         }
-        enc.model.add_constr("sys_supply", total_gen, Cmp::Le, fs.max_supply)?;
-        enc.model.add_constr("sys_consumption", total_cons, Cmp::Le, fs.max_consumption)?;
+        enc.model
+            .add_constr("sys_supply", total_gen, Cmp::Le, fs.max_supply)?;
+        enc.model
+            .add_constr("sys_consumption", total_cons, Cmp::Le, fs.max_consumption)?;
     }
 
     // --- solve -------------------------------------------------------------------
@@ -176,7 +184,10 @@ pub fn solve_monolithic(
     match outcome.solution() {
         Some(solution) => {
             let architecture = Architecture::decode(problem, &enc, solution);
-            Ok(Exploration::Optimal { architecture, stats })
+            Ok(Exploration::Optimal {
+                architecture,
+                stats,
+            })
         }
         None => Ok(Exploration::Infeasible { stats }),
     }
@@ -204,25 +215,51 @@ mod tests {
             t.add_candidate_edge(m, k);
         }
         let mut lib = Library::new();
-        lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0));
+        lib.add(
+            "S",
+            src_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_GEN, 10.0)
+                .with(LATENCY, 1.0),
+        );
         lib.add(
             "M_slow",
             mach_t,
-            Attrs::new().with(COST, 1.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 30.0),
         );
         lib.add(
             "M_mid",
             mach_t,
-            Attrs::new().with(COST, 3.0).with(THROUGHPUT, 20.0).with(LATENCY, 12.0),
+            Attrs::new()
+                .with(COST, 3.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 12.0),
         );
         lib.add(
             "M_fast",
             mach_t,
-            Attrs::new().with(COST, 6.0).with(THROUGHPUT, 20.0).with(LATENCY, 2.0),
+            Attrs::new()
+                .with(COST, 6.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 2.0),
         );
-        lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0));
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_CONS, 5.0)
+                .with(LATENCY, 1.0),
+        );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency,
                 max_input_jitter: 0.0,

@@ -90,7 +90,14 @@ impl Architecture {
                 panic!("selected edge with uninstantiated endpoint");
             };
             let flow = enc.flow_vars.get(e.index()).map(|&fv| solution.value(fv));
-            graph.add_edge(sa, sb, ArchEdge { template_edge: e, flow });
+            graph.add_edge(
+                sa,
+                sb,
+                ArchEdge {
+                    template_edge: e,
+                    flow,
+                },
+            );
         }
         // Report the exact weighted cost of the selected mapping (rather
         // than trusting the MILP objective value, which carries solver
@@ -230,20 +237,35 @@ mod tests {
         let k = t.add_required_node("K", sink_t);
         t.add_candidate_edge(s, k);
         let mut lib = Library::new();
-        lib.add("S0", src_t, Attrs::new().with(COST, 2.0).with(FLOW_GEN, 8.0));
+        lib.add(
+            "S0",
+            src_t,
+            Attrs::new().with(COST, 2.0).with(FLOW_GEN, 8.0),
+        );
         lib.add(
             "K0",
             sink_t,
-            Attrs::new().with(COST, 3.0).with(FLOW_CONS, 5.0).with(THROUGHPUT, 10.0),
+            Attrs::new()
+                .with(COST, 3.0)
+                .with(FLOW_CONS, 5.0)
+                .with(THROUGHPUT, 10.0),
         );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: None,
             ..SystemSpec::default()
         };
         let p = Problem::new(t, lib, spec);
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         (p, enc, sol)
     }
 

@@ -83,7 +83,10 @@ pub struct CutConfig {
 
 impl Default for CutConfig {
     fn default() -> Self {
-        CutConfig { iso_pruning: true, dominance_widening: true }
+        CutConfig {
+            iso_pruning: true,
+            dominance_widening: true,
+        }
     }
 }
 
@@ -111,8 +114,7 @@ pub fn apply_cuts(
     // --- pattern graph 𝒢 (implementation nodes detached) --------------------
     // Pattern nodes carry their type; `scope_arch_nodes[i]` is the
     // architecture node behind pattern node i.
-    let (pattern, scope_arch_nodes): (DiGraph<TypeId, ()>, Vec<NodeId>) = match &violation.scope
-    {
+    let (pattern, scope_arch_nodes): (DiGraph<TypeId, ()>, Vec<NodeId>) = match &violation.scope {
         ViolationScope::Path(nodes) => {
             let mut g = DiGraph::new();
             let ids: Vec<NodeId> = nodes
@@ -174,9 +176,7 @@ pub fn apply_cuts(
                 .impls_of_type(w.ty)
                 .iter()
                 .copied()
-                .filter(|&x| {
-                    dominates_violation(problem, violation.viewpoint, w.implementation, x)
-                })
+                .filter(|&x| dominates_violation(problem, violation.viewpoint, w.implementation, x))
                 .collect()
         })
         .collect();
@@ -237,8 +237,9 @@ pub fn apply_cuts(
             ViolationScope::Whole => {
                 // Lines 14–15: allow the shape if extra boundary edges join
                 // it; otherwise forbid the shape+implementations combo.
-                let mapped: BTreeSet<NodeId> =
-                    (0..pattern.num_nodes()).map(|i| emb.target(NodeId::from_index(i))).collect();
+                let mapped: BTreeSet<NodeId> = (0..pattern.num_nodes())
+                    .map(|i| emb.target(NodeId::from_index(i)))
+                    .collect();
                 let image_edges: BTreeSet<VarId> = edge_vars.iter().copied().collect();
                 let mut boundary: Vec<VarId> = Vec::new();
                 for (te, a, b) in t.candidate_edges() {
@@ -255,7 +256,8 @@ pub fn apply_cuts(
                 let c1 = LinExpr::sum(edge_vars.iter().copied())
                     + LinExpr::sum(boundary.iter().copied())
                     - LinExpr::term(y, n_e + 1.0);
-                enc.model.add_constr(format!("cut{}[grow]", *cut_seq), c1, Cmp::Ge, 0.0)?;
+                enc.model
+                    .add_constr(format!("cut{}[grow]", *cut_seq), c1, Cmp::Ge, 0.0)?;
                 // y = 0 ⇒ the shape+implementations combo is excluded.
                 let c2 = lhs_core - LinExpr::var(y);
                 enc.model.add_constr(
@@ -296,20 +298,43 @@ mod tests {
             t.add_candidate_edge(m, k);
         }
         let mut lib = Library::new();
-        lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0));
+        lib.add(
+            "S",
+            src_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_GEN, 10.0)
+                .with(LATENCY, 1.0),
+        );
         lib.add(
             "M_slow",
             mach_t,
-            Attrs::new().with(COST, 1.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 30.0),
         );
         lib.add(
             "M_fast",
             mach_t,
-            Attrs::new().with(COST, 5.0).with(THROUGHPUT, 20.0).with(LATENCY, 2.0),
+            Attrs::new()
+                .with(COST, 5.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 2.0),
         );
-        lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0));
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_CONS, 5.0)
+                .with(LATENCY, 1.0),
+        );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency: 10.0,
                 max_input_jitter: 1.0,
@@ -323,7 +348,12 @@ mod tests {
 
     fn first_candidate(p: &Problem) -> (Encoding, Architecture) {
         let enc = encode_problem2(p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         let arch = Architecture::decode(p, &enc, &sol);
         (enc, arch)
     }
@@ -337,7 +367,10 @@ mod tests {
             .collect();
         assert_eq!(nodes.len(), 3);
         let _ = p;
-        Violation { viewpoint: Viewpoint::Timing, scope: ViolationScope::Path(nodes) }
+        Violation {
+            viewpoint: Viewpoint::Timing,
+            scope: ViolationScope::Path(nodes),
+        }
     }
 
     #[test]
@@ -364,7 +397,15 @@ mod tests {
         let violation = path_violation(&p, &arch);
         let before = enc.model.num_constrs();
         let mut seq = 0;
-        let added = apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig::default(), &mut seq).unwrap();
+        let added = apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig::default(),
+            &mut seq,
+        )
+        .unwrap();
         // Two isomorphic embeddings (line A and line B) → two distinct cuts.
         assert_eq!(added, 2, "expected cuts for both isomorphic paths");
         assert_eq!(enc.model.num_constrs(), before + 2);
@@ -376,7 +417,18 @@ mod tests {
         let (mut enc, arch) = first_candidate(&p);
         let violation = path_violation(&p, &arch);
         let mut seq = 0;
-        let added = apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig { iso_pruning: false, ..CutConfig::default() }, &mut seq).unwrap();
+        let added = apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig {
+                iso_pruning: false,
+                ..CutConfig::default()
+            },
+            &mut seq,
+        )
+        .unwrap();
         assert_eq!(added, 1);
     }
 
@@ -395,9 +447,22 @@ mod tests {
         }
         let violation = path_violation(&p, &arch);
         let mut seq = 0;
-        apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig::default(), &mut seq).unwrap();
+        apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig::default(),
+            &mut seq,
+        )
+        .unwrap();
         // Re-solve: the new optimum must differ (fast machine on cut paths).
-        let sol2 = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol2 = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         let arch2 = Architecture::decode(&p, &enc, &sol2);
         let fast = p.library.impls_of_type(mach_t)[1];
         let n_fast = arch2
@@ -405,17 +470,31 @@ mod tests {
             .nodes()
             .filter(|(_, w)| w.implementation == fast)
             .count();
-        assert!(n_fast >= 2, "both machine slots must upgrade after iso cuts, got {n_fast}");
+        assert!(
+            n_fast >= 2,
+            "both machine slots must upgrade after iso cuts, got {n_fast}"
+        );
     }
 
     #[test]
     fn whole_scope_generates_disjunctive_cut() {
         let p = two_lines();
         let (mut enc, arch) = first_candidate(&p);
-        let violation = Violation { viewpoint: Viewpoint::Flow, scope: ViolationScope::Whole };
+        let violation = Violation {
+            viewpoint: Viewpoint::Flow,
+            scope: ViolationScope::Whole,
+        };
         let before_vars = enc.model.num_vars();
         let mut seq = 0;
-        let added = apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig::default(), &mut seq).unwrap();
+        let added = apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig::default(),
+            &mut seq,
+        )
+        .unwrap();
         assert!(added >= 1);
         // Disjunctive cuts add an auxiliary binary each.
         assert_eq!(enc.model.num_vars(), before_vars + added);
@@ -438,9 +517,25 @@ mod tests {
         let (mut enc, arch) = first_candidate(&p);
         let violation = path_violation(&p, &arch);
         let mut seq = 0;
-        apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig::default(), &mut seq).unwrap();
+        apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig::default(),
+            &mut seq,
+        )
+        .unwrap();
         let seq_after_first = seq;
-        apply_cuts(&p, &mut enc, &arch, &violation, &CutConfig::default(), &mut seq).unwrap();
+        apply_cuts(
+            &p,
+            &mut enc,
+            &arch,
+            &violation,
+            &CutConfig::default(),
+            &mut seq,
+        )
+        .unwrap();
         assert!(seq > seq_after_first);
     }
 }

@@ -69,12 +69,7 @@ impl Encoding {
 }
 
 /// Symmetry-breaking constraint `β_a ≥ β_b` for interchangeable slots.
-fn enc_sym(
-    model: &mut Model,
-    beta_vars: &[VarId],
-    a: usize,
-    b: usize,
-) -> Result<(), SolveError> {
+fn enc_sym(model: &mut Model, beta_vars: &[VarId], a: usize, b: usize) -> Result<(), SolveError> {
     model.add_constr(
         format!("sym[{a},{b}]"),
         LinExpr::var(beta_vars[b]) - LinExpr::var(beta_vars[a]),
@@ -114,9 +109,7 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
     // --- decision variables -------------------------------------------------
     let edge_vars: Vec<VarId> = t
         .candidate_edges()
-        .map(|(_, a, b)| {
-            model.add_binary(format!("e[{}->{}]", t.node(a).name, t.node(b).name))
-        })
+        .map(|(_, a, b)| model.add_binary(format!("e[{}->{}]", t.node(a).name, t.node(b).name)))
         .collect();
 
     let mut map_vars: Vec<Vec<(ImplId, VarId)>> = Vec::with_capacity(t.num_nodes());
@@ -127,11 +120,8 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
             .impls_of_type(info.ty)
             .iter()
             .map(|&x| {
-                let v = model.add_binary(format!(
-                    "m[{},{}]",
-                    info.name,
-                    lib.implementation(x).name
-                ));
+                let v =
+                    model.add_binary(format!("m[{},{}]", info.name, lib.implementation(x).name));
                 (x, v)
             })
             .collect();
@@ -196,12 +186,17 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
             0.0,
         )?;
 
-        let in_edges: Vec<VarId> =
-            t.graph().in_edges(n).map(|e| edge_vars[e.id.index()]).collect();
-        let out_edges: Vec<VarId> =
-            t.graph().out_edges(n).map(|e| edge_vars[e.id.index()]).collect();
-        let incident: Vec<VarId> =
-            in_edges.iter().chain(out_edges.iter()).copied().collect();
+        let in_edges: Vec<VarId> = t
+            .graph()
+            .in_edges(n)
+            .map(|e| edge_vars[e.id.index()])
+            .collect();
+        let out_edges: Vec<VarId> = t
+            .graph()
+            .out_edges(n)
+            .map(|e| edge_vars[e.id.index()])
+            .collect();
+        let incident: Vec<VarId> = in_edges.iter().chain(out_edges.iter()).copied().collect();
 
         // β_i = 1 ⟺ at least one incident connection.
         if incident.is_empty() {
@@ -280,14 +275,21 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
     // (and Algorithm 2's isomorphism cuts already treat them uniformly).
     {
         use std::collections::BTreeMap;
-        let mut orbits: BTreeMap<(u32, bool, u64, Vec<u32>, Vec<u32>), Vec<usize>> =
-            BTreeMap::new();
+        // Slot type, required flag, weight bits, sorted in/out neighborhoods.
+        type OrbitKey = (u32, bool, u64, Vec<u32>, Vec<u32>);
+        let mut orbits: BTreeMap<OrbitKey, Vec<usize>> = BTreeMap::new();
         for n in t.node_ids() {
             let info = t.node(n);
-            let mut ins: Vec<u32> =
-                t.graph().in_edges(n).map(|e| e.src.index() as u32).collect();
-            let mut outs: Vec<u32> =
-                t.graph().out_edges(n).map(|e| e.dst.index() as u32).collect();
+            let mut ins: Vec<u32> = t
+                .graph()
+                .in_edges(n)
+                .map(|e| e.src.index() as u32)
+                .collect();
+            let mut outs: Vec<u32> = t
+                .graph()
+                .out_edges(n)
+                .map(|e| e.dst.index() as u32)
+                .collect();
             ins.sort_unstable();
             outs.sort_unstable();
             // Exclude orbit-mates from the key indirectly: parallel slots
@@ -327,19 +329,19 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
         }
         for n in t.node_ids() {
             let info = t.node(n);
-            let in_flow: LinExpr = LinExpr::sum(
-                t.graph().in_edges(n).map(|e| flow_vars[e.id.index()]),
-            );
-            let out_flow: LinExpr = LinExpr::sum(
-                t.graph().out_edges(n).map(|e| flow_vars[e.id.index()]),
-            );
+            let in_flow: LinExpr =
+                LinExpr::sum(t.graph().in_edges(n).map(|e| flow_vars[e.id.index()]));
+            let out_flow: LinExpr =
+                LinExpr::sum(t.graph().out_edges(n).map(|e| flow_vars[e.id.index()]));
             let in_count = t.graph().in_degree(n) as f64;
             let thr_cap = spec.flow_cap * in_count.max(1.0);
 
             // Throughput (assumption): Σ_in f ≤ Σ_x m·thr(x).
-            let thr_sel = LinExpr::weighted_sum(map_vars[n.index()].iter().map(|&(x, v)| {
-                (v, clamped(lib.attr(x, attr::THROUGHPUT), thr_cap))
-            }));
+            let thr_sel = LinExpr::weighted_sum(
+                map_vars[n.index()]
+                    .iter()
+                    .map(|&(x, v)| (v, clamped(lib.attr(x, attr::THROUGHPUT), thr_cap))),
+            );
             if in_count > 0.0 {
                 model.add_constr(
                     format!("throughput[{}]", info.name),
@@ -393,8 +395,8 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
             // Assumption: e_{a,i} → |t − τ| ≤ j_in.
             for e in t.graph().in_edges(n) {
                 let ev = edge_vars[e.id.index()];
-                let diff = LinExpr::var(t_vars[e.id.index()])
-                    - LinExpr::var(tau_vars[e.id.index()]);
+                let diff =
+                    LinExpr::var(t_vars[e.id.index()]) - LinExpr::var(tau_vars[e.id.index()]);
                 // diff − j_in ≤ M(1−e)  and  −diff − j_in ≤ M(1−e)
                 model.add_constr(
                     format!("jin_hi[{},{}]", info.name, e.id.index()),
@@ -412,8 +414,8 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
             // Guarantee: e_{i,b} → |t − τ| ≤ j_out.
             for e in t.graph().out_edges(n) {
                 let ev = edge_vars[e.id.index()];
-                let diff = LinExpr::var(t_vars[e.id.index()])
-                    - LinExpr::var(tau_vars[e.id.index()]);
+                let diff =
+                    LinExpr::var(t_vars[e.id.index()]) - LinExpr::var(tau_vars[e.id.index()]);
                 model.add_constr(
                     format!("jout_hi[{},{}]", info.name, e.id.index()),
                     diff.clone() - jout_sel.clone() + LinExpr::term(ev, big_t),
@@ -438,12 +440,7 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
                         + LinExpr::term(ev_in, big_t)
                         + LinExpr::term(ev_out, big_t);
                     model.add_constr(
-                        format!(
-                            "lat[{},{},{}]",
-                            info.name,
-                            ein.id.index(),
-                            eout.id.index()
-                        ),
+                        format!("lat[{},{},{}]", info.name, ein.id.index(), eout.id.index()),
                         lhs,
                         Cmp::Le,
                         2.0 * big_t,
@@ -463,7 +460,15 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
     }
     model.set_objective(Sense::Minimize, cost);
 
-    Ok(Encoding { model, edge_vars, map_vars, beta_vars, flow_vars, tau_vars, t_vars })
+    Ok(Encoding {
+        model,
+        edge_vars,
+        map_vars,
+        beta_vars,
+        flow_vars,
+        tau_vars,
+        t_vars,
+    })
 }
 
 #[cfg(test)]
@@ -491,26 +496,41 @@ mod tests {
         lib.add(
             "S0",
             src_t,
-            Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_GEN, 10.0)
+                .with(LATENCY, 1.0),
         );
         lib.add(
             "M_cheap",
             mach_t,
-            Attrs::new().with(COST, 2.0).with(THROUGHPUT, 10.0).with(LATENCY, 8.0),
+            Attrs::new()
+                .with(COST, 2.0)
+                .with(THROUGHPUT, 10.0)
+                .with(LATENCY, 8.0),
         );
         lib.add(
             "M_fast",
             mach_t,
-            Attrs::new().with(COST, 6.0).with(THROUGHPUT, 10.0).with(LATENCY, 2.0),
+            Attrs::new()
+                .with(COST, 6.0)
+                .with(THROUGHPUT, 10.0)
+                .with(LATENCY, 2.0),
         );
         lib.add(
             "K0",
             sink_t,
-            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_CONS, 5.0)
+                .with(LATENCY, 1.0),
         );
 
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency: 20.0,
                 max_input_jitter: 1.0,
@@ -540,9 +560,18 @@ mod tests {
     fn solves_to_cheapest_functional_chain() {
         let p = chain_problem();
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         // Sink is required, so the whole chain must instantiate: S + M_cheap + K.
-        assert!((sol.objective() - 4.0).abs() < 1e-6, "objective {}", sol.objective());
+        assert!(
+            (sol.objective() - 4.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective()
+        );
         for e in &enc.edge_vars {
             assert!(sol.is_set(*e), "both edges selected");
         }
@@ -561,8 +590,16 @@ mod tests {
             .unwrap();
         p.template.set_required(k, false);
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
-        assert!(sol.objective().abs() < 1e-6, "empty architecture costs nothing");
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
+        assert!(
+            sol.objective().abs() < 1e-6,
+            "empty architecture costs nothing"
+        );
         for b in &enc.beta_vars {
             assert!(!sol.is_set(*b));
         }
@@ -584,7 +621,7 @@ mod tests {
         let k_impl = p.library.impls_of_type(sink_t)[0];
         let mut im = p.library.implementation(k_impl).clone();
         im.attrs.set(FLOW_CONS, 50.0); // source only generates 10
-        // Library has no mutate API by design; rebuild it.
+                                       // Library has no mutate API by design; rebuild it.
         let mut lib2 = Library::new();
         for (id, old) in p.library.iter() {
             if id == k_impl {
@@ -596,7 +633,10 @@ mod tests {
         p.library = lib2;
         let enc = encode_problem2(&p).unwrap();
         let out = enc.model.solve(&SolveOptions::default()).unwrap();
-        assert!(!out.is_feasible(), "demand exceeding supply must be infeasible");
+        assert!(
+            !out.is_feasible(),
+            "demand exceeding supply must be infeasible"
+        );
     }
 
     #[test]
@@ -616,10 +656,21 @@ mod tests {
 
         let mut lib = Library::new();
         lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 4.0));
-        lib.add("M", mach_t, Attrs::new().with(COST, 1.0).with(THROUGHPUT, 100.0));
-        lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 6.0));
+        lib.add(
+            "M",
+            mach_t,
+            Attrs::new().with(COST, 1.0).with(THROUGHPUT, 100.0),
+        );
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 6.0),
+        );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: None,
             ..SystemSpec::default()
         };

@@ -3,11 +3,12 @@
 
 use crate::candidate::Architecture;
 use crate::certificate::{apply_cuts, CutConfig};
+use crate::checkpoint::{fingerprint, AuxVarRecord, CutRecord, ExplorerCheckpoint};
 use crate::encode::encode_problem2;
 use crate::problem::Problem;
 use crate::refinement::{check_candidate_all, RefinementConfig};
 use contrarc_contracts::{EncodeOptions, RefinementChecker};
-use contrarc_milp::{SolveError, SolveOptions};
+use contrarc_milp::{Budget, LinExpr, SolveError, SolveOptions, VarDef, VarId};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -69,13 +70,19 @@ impl ExplorerConfig {
     /// The paper's "only subgraph isomorphism" ablation.
     #[must_use]
     pub fn only_iso() -> Self {
-        ExplorerConfig { compositional: false, ..Self::default() }
+        ExplorerConfig {
+            compositional: false,
+            ..Self::default()
+        }
     }
 
     /// The paper's "only decomposition" ablation.
     #[must_use]
     pub fn only_decomposition() -> Self {
-        ExplorerConfig { iso_pruning: false, ..Self::default() }
+        ExplorerConfig {
+            iso_pruning: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -116,6 +123,68 @@ impl fmt::Display for ExplorationStats {
     }
 }
 
+/// Why an exploration stopped before reaching an optimum or an
+/// infeasibility proof.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopReason {
+    /// The lazy-loop iteration cap ([`ExplorerConfig::max_iterations`]) was
+    /// reached.
+    IterationLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The shared wall-clock deadline expired.
+    TimeLimit {
+        /// The nominal budget in seconds (0 when unknown).
+        limit_secs: f64,
+    },
+    /// The cumulative branch-and-bound node budget was exhausted.
+    NodeLimit {
+        /// The configured node allowance.
+        limit: u64,
+    },
+    /// The cumulative simplex pivot budget was exhausted.
+    PivotLimit {
+        /// The configured pivot allowance.
+        limit: u64,
+    },
+}
+
+impl StopReason {
+    /// The stop reason corresponding to a budget-exhaustion solver error, or
+    /// `None` when the error is a genuine failure that should propagate.
+    #[must_use]
+    pub fn from_solve_error(e: &SolveError) -> Option<StopReason> {
+        match e {
+            SolveError::TimeLimit { limit_secs } => Some(StopReason::TimeLimit {
+                limit_secs: *limit_secs,
+            }),
+            SolveError::IterationLimit { limit } => Some(StopReason::PivotLimit { limit: *limit }),
+            SolveError::NodeLimit { limit } => Some(StopReason::NodeLimit { limit: *limit }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::IterationLimit { limit } => {
+                write!(f, "iteration cap of {limit} reached")
+            }
+            StopReason::TimeLimit { limit_secs } => {
+                write!(f, "wall-clock budget of {limit_secs} s exhausted")
+            }
+            StopReason::NodeLimit { limit } => {
+                write!(f, "branch-and-bound node budget of {limit} exhausted")
+            }
+            StopReason::PivotLimit { limit } => {
+                write!(f, "simplex pivot budget of {limit} exhausted")
+            }
+        }
+    }
+}
+
 /// Result of an exploration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Exploration {
@@ -131,6 +200,27 @@ pub enum Exploration {
         /// Run statistics.
         stats: ExplorationStats,
     },
+    /// The budget ran out before the loop converged: everything learned so
+    /// far, instead of an error. The exploration can be continued from a
+    /// [`Explorer::checkpoint`] taken before the run.
+    Partial {
+        /// The most recent candidate selected by the MILP. It satisfies every
+        /// certificate cut accumulated so far but has **not** been verified
+        /// against the system-level contracts; `None` when the budget expired
+        /// before the first candidate was decoded.
+        incumbent: Option<Architecture>,
+        /// A proven lower bound on the optimal cost (the last MILP optimum;
+        /// cuts only remove infeasible architectures, so no feasible
+        /// architecture can cost less).
+        lower_bound: Option<f64>,
+        /// Certificate cuts accumulated before the interruption (these remain
+        /// valid for any continuation of the search).
+        cuts: usize,
+        /// Run statistics.
+        stats: ExplorationStats,
+        /// Which budget ran out.
+        reason: StopReason,
+    },
 }
 
 impl Exploration {
@@ -138,21 +228,56 @@ impl Exploration {
     #[must_use]
     pub fn stats(&self) -> &ExplorationStats {
         match self {
-            Exploration::Optimal { stats, .. } | Exploration::Infeasible { stats } => stats,
+            Exploration::Optimal { stats, .. }
+            | Exploration::Infeasible { stats }
+            | Exploration::Partial { stats, .. } => stats,
         }
     }
 
-    /// The optimal architecture, if one was found.
+    /// The optimal architecture, if one was found **and verified**.
     #[must_use]
     pub fn architecture(&self) -> Option<&Architecture> {
         match self {
             Exploration::Optimal { architecture, .. } => Some(architecture),
+            Exploration::Infeasible { .. } | Exploration::Partial { .. } => None,
+        }
+    }
+
+    /// The best candidate available: the verified optimum, or on a partial
+    /// run the unverified incumbent.
+    #[must_use]
+    pub fn incumbent(&self) -> Option<&Architecture> {
+        match self {
+            Exploration::Optimal { architecture, .. } => Some(architecture),
+            Exploration::Partial { incumbent, .. } => incumbent.as_ref(),
             Exploration::Infeasible { .. } => None,
         }
+    }
+
+    /// A proven lower bound on the optimal cost, when one is known.
+    #[must_use]
+    pub fn lower_bound(&self) -> Option<f64> {
+        match self {
+            Exploration::Optimal { architecture, .. } => Some(architecture.cost()),
+            Exploration::Partial { lower_bound, .. } => *lower_bound,
+            Exploration::Infeasible { .. } => None,
+        }
+    }
+
+    /// Whether the run stopped early on an exhausted budget.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Exploration::Partial { .. })
     }
 }
 
 /// Errors of the exploration loop.
+///
+/// Since the introduction of graceful degradation, exhausted iteration/time
+/// budgets are **not** errors anymore: they surface as
+/// [`Exploration::Partial`] (or [`Step::Exhausted`]). The `IterationLimit`
+/// and `TimeLimit` variants are kept for downstream matches but no longer
+/// constructed by [`explore`].
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ExploreError {
@@ -168,6 +293,17 @@ pub enum ExploreError {
         /// The configured budget in seconds.
         limit_secs: f64,
     },
+    /// A checkpoint was taken from a different problem or configuration than
+    /// the one it is being resumed against.
+    CheckpointMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the problem/config being resumed.
+        found: u64,
+    },
+    /// A checkpoint is internally inconsistent (e.g. a cut referencing a
+    /// variable the encoding does not have).
+    CheckpointInvalid(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -180,6 +316,11 @@ impl fmt::Display for ExploreError {
             ExploreError::TimeLimit { limit_secs } => {
                 write!(f, "exploration time budget of {limit_secs} s exhausted")
             }
+            ExploreError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {expected:016x} does not match problem/config {found:016x}"
+            ),
+            ExploreError::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
         }
     }
 }
@@ -188,7 +329,7 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Solve(e) => Some(e),
-            ExploreError::IterationLimit { .. } | ExploreError::TimeLimit { .. } => None,
+            _ => None,
         }
     }
 }
@@ -208,10 +349,14 @@ impl From<SolveError> for ExploreError {
 /// For step-by-step control (inspecting each candidate and its violations),
 /// use [`Explorer`] directly.
 ///
+/// Budget exhaustion — `config.max_iterations`, `config.time_limit_secs`, or
+/// the node/pivot allowances of `config.solve_options.budget` — is **not** an
+/// error: it returns [`Exploration::Partial`] carrying the incumbent
+/// candidate, the proven lower bound, and the cuts learned so far.
+///
 /// # Errors
 ///
-/// Returns [`ExploreError`] on malformed problems, solver resource limits,
-/// or when `config.max_iterations` is exhausted.
+/// Returns [`ExploreError`] on malformed problems or solver failures.
 pub fn explore(problem: &Problem, config: &ExplorerConfig) -> Result<Exploration, ExploreError> {
     Explorer::new(problem, config.clone())?.run()
 }
@@ -235,6 +380,11 @@ pub enum Step {
     /// The (cut-augmented) MILP is infeasible: no architecture satisfies the
     /// requirements.
     Infeasible,
+    /// A budget (iterations, wall clock, nodes, or pivots) ran out. The
+    /// explorer is finished; harvest the incumbent and lower bound from
+    /// [`Explorer::incumbent`] / [`Explorer::lower_bound`], or resume later
+    /// from a previously taken checkpoint.
+    Exhausted(StopReason),
 }
 
 /// The exploration loop as a resumable state machine.
@@ -255,6 +405,7 @@ pub enum Step {
 ///         }
 ///         Step::Optimal(arch) => { eprintln!("optimum: {}", arch.cost()); break; }
 ///         Step::Infeasible => { eprintln!("infeasible"); break; }
+///         Step::Exhausted(reason) => { eprintln!("budget ran out: {reason}"); break; }
 ///     }
 /// }
 /// # Ok(())
@@ -271,7 +422,24 @@ pub struct Explorer<'p> {
     cut_seq: u32,
     cost_floor: Option<f64>,
     start: Instant,
+    /// Wall-clock seconds accumulated before this process (restored from a
+    /// checkpoint); `total_time` is always `prior_secs + start.elapsed()`.
+    prior_secs: f64,
     finished: bool,
+    /// The exploration-wide budget every solve charges: one absolute
+    /// deadline plus shared node/pivot counters.
+    budget: Budget,
+    /// Last candidate decoded from the MILP (unverified until optimal).
+    incumbent: Option<Architecture>,
+    /// Variables in the freshly encoded model; later ones are auxiliary cut
+    /// variables.
+    baseline_vars: usize,
+    /// Constraints in the freshly encoded model; rows beyond this index are
+    /// certificate cuts.
+    baseline_constrs: usize,
+    /// FNV-1a fingerprint of the baseline encoding + pruning configuration,
+    /// used to validate checkpoints.
+    fingerprint: u64,
 }
 
 impl<'p> Explorer<'p> {
@@ -280,7 +448,7 @@ impl<'p> Explorer<'p> {
     /// # Errors
     ///
     /// Returns [`ExploreError::Solve`] when the problem fails validation.
-    pub fn new(problem: &'p Problem, config: ExplorerConfig) -> Result<Self, ExploreError> {
+    pub fn new(problem: &'p Problem, mut config: ExplorerConfig) -> Result<Self, ExploreError> {
         let enc = encode_problem2(problem)?;
         let model_stats = enc.model.stats();
         let stats = ExplorationStats {
@@ -288,14 +456,27 @@ impl<'p> Explorer<'p> {
             milp_constraints: model_stats.num_constraints,
             ..ExplorationStats::default()
         };
-        let checker = RefinementChecker::with_options(
-            config.solve_options.clone(),
-            EncodeOptions::default(),
-        );
+        // One budget for the whole exploration: the config's time limit
+        // becomes an *absolute* deadline now, shared (together with the node
+        // and pivot counters) by every candidate-selection solve, every
+        // refinement query, and every certificate-strengthening solve. Each
+        // solve therefore sees the remaining allowance, not a fresh one.
+        let deadline = config
+            .solve_options
+            .budget
+            .deadline()
+            .tightened_by_secs(config.time_limit_secs);
+        let budget = config.solve_options.budget.clone().with_deadline(deadline);
+        config.solve_options.budget = budget.clone();
+        let checker =
+            RefinementChecker::with_options(config.solve_options.clone(), EncodeOptions::default());
         let ref_config = RefinementConfig {
             compositional: config.compositional,
             max_paths: config.max_paths,
         };
+        let baseline_vars = enc.model.num_vars();
+        let baseline_constrs = enc.model.num_constrs();
+        let fingerprint = fingerprint(&enc.model, &problem.spec, &config);
         Ok(Explorer {
             problem,
             config,
@@ -306,8 +487,141 @@ impl<'p> Explorer<'p> {
             cut_seq: 0,
             cost_floor: None,
             start: Instant::now(),
+            prior_secs: 0.0,
             finished: false,
+            budget,
+            incumbent: None,
+            baseline_vars,
+            baseline_constrs,
+            fingerprint,
         })
+    }
+
+    /// Rebuild an explorer from a checkpoint: re-encode the problem, replay
+    /// the recorded certificate cuts, and restore the counters so the
+    /// continued run behaves as if it had never been interrupted (including
+    /// charging the already-spent nodes/pivots against the budget).
+    ///
+    /// `config` may differ from the interrupted run's in its *budget* knobs
+    /// (`max_iterations`, `time_limit_secs`, `solve_options.budget`,
+    /// tolerances) — raising them is exactly how an exhausted run is
+    /// continued. The semantic knobs (`iso_pruning`, `compositional`,
+    /// `dominance_widening`, `max_paths`) and the problem itself are part of
+    /// the checkpoint fingerprint and must match.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::CheckpointMismatch`] when the fingerprint disagrees,
+    /// [`ExploreError::CheckpointInvalid`] when the cut records do not fit
+    /// the encoding, or [`ExploreError::Solve`] when the problem fails
+    /// validation.
+    pub fn resume(
+        problem: &'p Problem,
+        config: ExplorerConfig,
+        checkpoint: &ExplorerCheckpoint,
+    ) -> Result<Self, ExploreError> {
+        let mut ex = Explorer::new(problem, config)?;
+        if ex.fingerprint != checkpoint.fingerprint {
+            return Err(ExploreError::CheckpointMismatch {
+                expected: checkpoint.fingerprint,
+                found: ex.fingerprint,
+            });
+        }
+        if ex.baseline_constrs != checkpoint.baseline_constrs
+            || ex.baseline_vars != checkpoint.baseline_vars
+        {
+            return Err(ExploreError::CheckpointInvalid(format!(
+                "baseline has {} vars / {} constraints, checkpoint recorded {} / {}",
+                ex.baseline_vars,
+                ex.baseline_constrs,
+                checkpoint.baseline_vars,
+                checkpoint.baseline_constrs
+            )));
+        }
+        for aux in &checkpoint.aux_vars {
+            if aux.lb.is_nan() || aux.ub.is_nan() || aux.lb > aux.ub {
+                return Err(ExploreError::CheckpointInvalid(format!(
+                    "auxiliary variable '{}' has malformed bounds",
+                    aux.name
+                )));
+            }
+            ex.enc
+                .model
+                .add_var(VarDef::new(aux.name.clone(), aux.ty, aux.lb, aux.ub));
+        }
+        let num_vars = ex.enc.model.num_vars();
+        for cut in &checkpoint.cuts {
+            if cut.terms.iter().any(|&(i, _)| i >= num_vars) {
+                return Err(ExploreError::CheckpointInvalid(format!(
+                    "cut '{}' references a variable outside the encoding",
+                    cut.name
+                )));
+            }
+            let expr =
+                LinExpr::weighted_sum(cut.terms.iter().map(|&(i, c)| (VarId::from_index(i), c)));
+            ex.enc
+                .model
+                .add_constr(cut.name.clone(), expr, cut.cmp, cut.rhs)?;
+        }
+        let fresh_vars = ex.stats.milp_vars;
+        let fresh_constrs = ex.stats.milp_constraints;
+        ex.stats = checkpoint.stats;
+        ex.stats.milp_vars = fresh_vars;
+        ex.stats.milp_constraints = fresh_constrs;
+        ex.prior_secs = checkpoint.stats.total_time;
+        ex.cut_seq = checkpoint.cut_seq;
+        ex.cost_floor = checkpoint.cost_floor;
+        ex.budget
+            .restore_usage(checkpoint.nodes_used, checkpoint.pivots_used);
+        Ok(ex)
+    }
+
+    /// Snapshot everything the exploration has learned — certificate cuts,
+    /// the objective floor, counters, statistics — into a serializable
+    /// checkpoint that [`Explorer::resume`] can continue from, possibly in a
+    /// different process. The incumbent architecture is deliberately not
+    /// stored: the first candidate-selection solve after resuming re-derives
+    /// it from the replayed cuts.
+    #[must_use]
+    pub fn checkpoint(&self) -> ExplorerCheckpoint {
+        let cuts = self
+            .enc
+            .model
+            .constrs()
+            .skip(self.baseline_constrs)
+            .map(|c| CutRecord {
+                name: c.name.clone(),
+                cmp: c.cmp,
+                rhs: c.rhs,
+                terms: c.expr.iter().map(|(v, coeff)| (v.index(), coeff)).collect(),
+            })
+            .collect();
+        let aux_vars = self
+            .enc
+            .model
+            .vars()
+            .skip(self.baseline_vars)
+            .map(|(_, def)| AuxVarRecord {
+                name: def.name.clone(),
+                ty: def.ty,
+                lb: def.lb,
+                ub: def.ub,
+            })
+            .collect();
+        let mut stats = self.stats;
+        stats.total_time = self.prior_secs + self.start.elapsed().as_secs_f64();
+        ExplorerCheckpoint {
+            fingerprint: self.fingerprint,
+            baseline_vars: self.baseline_vars,
+            baseline_constrs: self.baseline_constrs,
+            cut_seq: self.cut_seq,
+            cost_floor: self.cost_floor,
+            nodes_used: self.budget.nodes_used(),
+            pivots_used: self.budget.pivots_used(),
+            stats,
+            aux_vars,
+            cuts,
+        }
     }
 
     /// Statistics accumulated so far.
@@ -316,26 +630,73 @@ impl<'p> Explorer<'p> {
         &self.stats
     }
 
+    /// The exploration-wide budget (shared deadline and work counters).
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The most recent candidate selected by the MILP (unverified unless the
+    /// exploration ended with [`Step::Optimal`]).
+    #[must_use]
+    pub fn incumbent(&self) -> Option<&Architecture> {
+        self.incumbent.as_ref()
+    }
+
+    /// A proven lower bound on the optimal cost, once a candidate has been
+    /// selected.
+    #[must_use]
+    pub fn lower_bound(&self) -> Option<f64> {
+        self.cost_floor
+    }
+
+    /// Current total wall-clock time, including pre-checkpoint seconds.
+    fn elapsed_total(&self) -> f64 {
+        self.prior_secs + self.start.elapsed().as_secs_f64()
+    }
+
+    /// Finish the exploration on an exhausted budget.
+    fn exhaust(&mut self, reason: StopReason) -> Step {
+        self.stats.total_time = self.elapsed_total();
+        self.finished = true;
+        Step::Exhausted(reason)
+    }
+
+    /// Degrade a solver error gracefully when it is a budget exhaustion;
+    /// propagate anything else.
+    fn exhaust_or_err(&mut self, e: SolveError) -> Result<Step, ExploreError> {
+        match StopReason::from_solve_error(&e) {
+            Some(reason) => Ok(self.exhaust(reason)),
+            None => Err(e.into()),
+        }
+    }
+
     /// Run one iteration of the loop.
+    ///
+    /// Exhausted budgets (iterations, the shared deadline, node or pivot
+    /// allowances) are not errors: they yield [`Step::Exhausted`] and leave
+    /// the incumbent and lower bound readable.
     ///
     /// # Errors
     ///
-    /// Returns [`ExploreError`] on solver failures or exhausted
-    /// iteration/time budgets.
+    /// Returns [`ExploreError`] on solver failures.
     ///
     /// # Panics
     ///
-    /// Panics when called again after a terminal step ([`Step::Optimal`] or
-    /// [`Step::Infeasible`]).
+    /// Panics when called again after a terminal step ([`Step::Optimal`],
+    /// [`Step::Infeasible`], or [`Step::Exhausted`]).
     pub fn step(&mut self) -> Result<Step, ExploreError> {
         assert!(!self.finished, "exploration already finished");
         if self.stats.iterations >= self.config.max_iterations {
-            return Err(ExploreError::IterationLimit { limit: self.config.max_iterations });
+            return Ok(self.exhaust(StopReason::IterationLimit {
+                limit: self.config.max_iterations,
+            }));
         }
-        if let Some(limit) = self.config.time_limit_secs {
-            if self.start.elapsed().as_secs_f64() > limit {
-                return Err(ExploreError::TimeLimit { limit_secs: limit });
-            }
+        let deadline = self.budget.deadline();
+        if deadline.expired() {
+            return Ok(self.exhaust(StopReason::TimeLimit {
+                limit_secs: deadline.nominal_secs().unwrap_or(0.0),
+            }));
         }
         self.stats.iterations += 1;
 
@@ -346,25 +707,33 @@ impl<'p> Explorer<'p> {
         let t0 = Instant::now();
         let mut solve_options = self.config.solve_options.clone();
         solve_options.objective_floor = self.cost_floor;
-        let outcome = self.enc.model.solve(&solve_options)?;
+        let outcome = self.enc.model.solve(&solve_options);
         self.stats.milp_time += t0.elapsed().as_secs_f64();
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => return self.exhaust_or_err(e),
+        };
 
         let Some(solution) = outcome.solution() else {
-            self.stats.total_time = self.start.elapsed().as_secs_f64();
+            self.stats.total_time = self.elapsed_total();
             self.finished = true;
             return Ok(Step::Infeasible);
         };
         self.cost_floor = Some(solution.objective());
         let arch = Architecture::decode(self.problem, &self.enc, solution);
+        self.incumbent = Some(arch.clone());
 
         // Problem 3: refinement verification.
         let t1 = Instant::now();
-        let violations =
-            check_candidate_all(self.problem, &arch, &self.ref_config, &self.checker)?;
+        let violations = check_candidate_all(self.problem, &arch, &self.ref_config, &self.checker);
         self.stats.refine_time += t1.elapsed().as_secs_f64();
+        let violations = match violations {
+            Ok(v) => v,
+            Err(e) => return self.exhaust_or_err(e),
+        };
 
         if violations.is_empty() {
-            self.stats.total_time = self.start.elapsed().as_secs_f64();
+            self.stats.total_time = self.elapsed_total();
             self.finished = true;
             return Ok(Step::Optimal(arch));
         }
@@ -376,30 +745,63 @@ impl<'p> Explorer<'p> {
             dominance_widening: self.config.dominance_widening,
         };
         let mut added = 0;
+        let mut cut_err = None;
         for v in &violations {
-            added +=
-                apply_cuts(self.problem, &mut self.enc, &arch, v, &cut_config, &mut self.cut_seq)?;
+            match apply_cuts(
+                self.problem,
+                &mut self.enc,
+                &arch,
+                v,
+                &cut_config,
+                &mut self.cut_seq,
+            ) {
+                Ok(n) => added += n,
+                Err(e) => {
+                    cut_err = Some(e);
+                    break;
+                }
+            }
         }
         self.stats.cert_time += t2.elapsed().as_secs_f64();
         self.stats.cuts_added += added;
+        if let Some(e) = cut_err {
+            return self.exhaust_or_err(e);
+        }
         debug_assert!(added > 0, "certificate generation must make progress");
-        Ok(Step::Pruned { candidate: arch, violations, cuts_added: added })
+        Ok(Step::Pruned {
+            candidate: arch,
+            violations,
+            cuts_added: added,
+        })
     }
 
-    /// Drive the loop to completion.
+    /// Drive the loop to completion (or budget exhaustion, which yields
+    /// [`Exploration::Partial`] rather than an error).
     ///
     /// # Errors
     ///
-    /// Returns [`ExploreError`] on solver failures or exhausted budgets.
+    /// Returns [`ExploreError`] on solver failures.
     pub fn run(mut self) -> Result<Exploration, ExploreError> {
         loop {
             match self.step()? {
                 Step::Pruned { .. } => {}
                 Step::Optimal(architecture) => {
-                    return Ok(Exploration::Optimal { architecture, stats: self.stats });
+                    return Ok(Exploration::Optimal {
+                        architecture,
+                        stats: self.stats,
+                    });
                 }
                 Step::Infeasible => {
                     return Ok(Exploration::Infeasible { stats: self.stats });
+                }
+                Step::Exhausted(reason) => {
+                    return Ok(Exploration::Partial {
+                        incumbent: self.incumbent.take(),
+                        lower_bound: self.cost_floor,
+                        cuts: self.stats.cuts_added,
+                        stats: self.stats,
+                        reason,
+                    });
                 }
             }
         }
@@ -429,25 +831,51 @@ mod tests {
             t.add_candidate_edge(m, k);
         }
         let mut lib = Library::new();
-        lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0));
+        lib.add(
+            "S",
+            src_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_GEN, 10.0)
+                .with(LATENCY, 1.0),
+        );
         lib.add(
             "M_slow",
             mach_t,
-            Attrs::new().with(COST, 1.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 30.0),
         );
         lib.add(
             "M_mid",
             mach_t,
-            Attrs::new().with(COST, 3.0).with(THROUGHPUT, 20.0).with(LATENCY, 12.0),
+            Attrs::new()
+                .with(COST, 3.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 12.0),
         );
         lib.add(
             "M_fast",
             mach_t,
-            Attrs::new().with(COST, 6.0).with(THROUGHPUT, 20.0).with(LATENCY, 2.0),
+            Attrs::new()
+                .with(COST, 6.0)
+                .with(THROUGHPUT, 20.0)
+                .with(LATENCY, 2.0),
         );
-        lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0));
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_CONS, 5.0)
+                .with(LATENCY, 1.0),
+        );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency,
                 max_input_jitter: 1.0,
@@ -467,7 +895,10 @@ mod tests {
         let arch = result.architecture().expect("optimal expected");
         // Expected: S + M_mid + K per line = (1+3+1)*2 = 10.
         assert!((arch.cost() - 10.0).abs() < 1e-6, "cost {}", arch.cost());
-        assert!(result.stats().iterations >= 2, "must iterate past the slow candidate");
+        assert!(
+            result.stats().iterations >= 2,
+            "must iterate past the slow candidate"
+        );
     }
 
     #[test]
@@ -513,12 +944,161 @@ mod tests {
     }
 
     #[test]
-    fn iteration_limit_reported() {
+    fn iteration_limit_degrades_to_partial() {
         let p = lines_problem(15.0);
-        let config = ExplorerConfig { max_iterations: 1, ..ExplorerConfig::complete() };
-        let err = explore(&p, &config).unwrap_err();
-        assert!(matches!(err, ExploreError::IterationLimit { limit: 1 }));
-        assert!(err.to_string().contains("limit"));
+        let config = ExplorerConfig {
+            max_iterations: 1,
+            ..ExplorerConfig::complete()
+        };
+        let result = explore(&p, &config).unwrap();
+        let Exploration::Partial {
+            incumbent,
+            lower_bound,
+            cuts,
+            stats,
+            reason,
+        } = result
+        else {
+            panic!("expected Partial, got {result:?}");
+        };
+        assert!(matches!(reason, StopReason::IterationLimit { limit: 1 }));
+        assert!(reason.to_string().contains("iteration cap"));
+        // Iteration 1 selected (and rejected) the slow candidate, so the
+        // partial result still carries what was learned from it.
+        let inc = incumbent.expect("iteration 1 decoded a candidate");
+        assert!(inc.cost() > 0.0);
+        assert!(lower_bound.is_some());
+        assert!(cuts > 0, "the rejected candidate must have produced cuts");
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.cuts_added, cuts);
+    }
+
+    #[test]
+    fn expired_time_budget_degrades_to_partial() {
+        let p = lines_problem(15.0);
+        let config = ExplorerConfig {
+            time_limit_secs: Some(0.0),
+            ..ExplorerConfig::complete()
+        };
+        let result = explore(&p, &config).unwrap();
+        assert!(result.is_partial());
+        assert!(matches!(
+            result,
+            Exploration::Partial {
+                reason: StopReason::TimeLimit { .. },
+                ..
+            }
+        ));
+        // Nothing was learned before the (already expired) deadline.
+        assert!(result.incumbent().is_none());
+    }
+
+    #[test]
+    fn pivot_budget_degrades_to_partial() {
+        use contrarc_milp::Budget;
+        let p = lines_problem(15.0);
+        let mut config = ExplorerConfig::complete();
+        config.solve_options.budget = Budget::unlimited().with_pivot_limit(1);
+        let result = explore(&p, &config).unwrap();
+        assert!(matches!(
+            result,
+            Exploration::Partial {
+                reason: StopReason::PivotLimit { limit: 1 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn partial_lower_bound_never_exceeds_optimum() {
+        let p = lines_problem(15.0);
+        let optimal = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let opt_cost = optimal.architecture().unwrap().cost();
+        let config = ExplorerConfig {
+            max_iterations: 1,
+            ..ExplorerConfig::complete()
+        };
+        let partial = explore(&p, &config).unwrap();
+        let lb = partial.lower_bound().expect("one iteration proves a floor");
+        assert!(
+            lb <= opt_cost + 1e-9,
+            "lower bound {lb} exceeds optimum {opt_cost}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_same_optimum() {
+        let p = lines_problem(15.0);
+        let full = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let full_cost = full.architecture().unwrap().cost();
+        let full_iters = full.stats().iterations;
+        assert!(full_iters >= 2, "problem must need pruning for this test");
+
+        // Interrupt after one iteration, checkpoint, resume, finish.
+        let mut ex = Explorer::new(
+            &p,
+            ExplorerConfig {
+                max_iterations: 1,
+                ..ExplorerConfig::complete()
+            },
+        )
+        .unwrap();
+        loop {
+            match ex.step().unwrap() {
+                Step::Pruned { .. } => {}
+                Step::Exhausted(_) => break,
+                s => panic!("expected exhaustion first, got {s:?}"),
+            }
+        }
+        let ckpt = ex.checkpoint();
+        assert!(!ckpt.cuts.is_empty());
+        assert_eq!(ckpt.stats.iterations, 1);
+
+        let resumed = Explorer::resume(&p, ExplorerConfig::complete(), &ckpt).unwrap();
+        let result = resumed.run().unwrap();
+        let arch = result.architecture().expect("resumed run must converge");
+        assert!((arch.cost() - full_cost).abs() < 1e-6);
+        // The resumed run continues the iteration count instead of starting
+        // over, and together the two halves match the uninterrupted run.
+        assert_eq!(result.stats().iterations, full_iters);
+    }
+
+    #[test]
+    fn checkpoint_rejects_different_problem() {
+        let p15 = lines_problem(15.0);
+        let p50 = lines_problem(50.0);
+        let ex = Explorer::new(&p15, ExplorerConfig::complete()).unwrap();
+        let ckpt = ex.checkpoint();
+        let err = Explorer::resume(&p50, ExplorerConfig::complete(), &ckpt).unwrap_err();
+        assert!(matches!(err, ExploreError::CheckpointMismatch { .. }));
+    }
+
+    #[test]
+    fn checkpoint_rejects_different_pruning_config() {
+        let p = lines_problem(15.0);
+        let ex = Explorer::new(&p, ExplorerConfig::complete()).unwrap();
+        let ckpt = ex.checkpoint();
+        let err = Explorer::resume(&p, ExplorerConfig::only_iso(), &ckpt).unwrap_err();
+        assert!(matches!(err, ExploreError::CheckpointMismatch { .. }));
+    }
+
+    #[test]
+    fn resume_may_raise_budget_knobs() {
+        // Budget knobs (iteration caps, time limits) are not fingerprinted:
+        // raising them is the whole point of resuming.
+        let p = lines_problem(15.0);
+        let config = ExplorerConfig {
+            max_iterations: 1,
+            ..ExplorerConfig::complete()
+        };
+        let ex = Explorer::new(&p, config).unwrap();
+        let ckpt = ex.checkpoint();
+        let raised = ExplorerConfig {
+            max_iterations: 99,
+            time_limit_secs: Some(3600.0),
+            ..ExplorerConfig::complete()
+        };
+        assert!(Explorer::resume(&p, raised, &ckpt).is_ok());
     }
 
     #[test]
@@ -529,13 +1109,18 @@ mod tests {
         let mut pruned_steps = 0;
         let optimum = loop {
             match explorer.step().unwrap() {
-                Step::Pruned { violations, cuts_added, .. } => {
+                Step::Pruned {
+                    violations,
+                    cuts_added,
+                    ..
+                } => {
                     assert!(!violations.is_empty());
                     assert!(cuts_added > 0);
                     pruned_steps += 1;
                 }
                 Step::Optimal(arch) => break arch,
                 Step::Infeasible => panic!("expected feasible"),
+                Step::Exhausted(reason) => panic!("unexpected exhaustion: {reason}"),
             }
         };
         assert!((optimum.cost() - batch.architecture().unwrap().cost()).abs() < 1e-6);
@@ -547,12 +1132,7 @@ mod tests {
     fn step_after_finish_panics() {
         let p = lines_problem(50.0);
         let mut explorer = Explorer::new(&p, ExplorerConfig::complete()).unwrap();
-        loop {
-            match explorer.step().unwrap() {
-                Step::Pruned { .. } => {}
-                _ => break,
-            }
-        }
+        while let Step::Pruned { .. } = explorer.step().unwrap() {}
         let _ = explorer.step();
     }
 

@@ -65,7 +65,10 @@ pub fn build_timing_model(
     entries: &[NodeId],
     exits: &[NodeId],
 ) -> CheckModel {
-    let spec = problem.spec.timing.expect("timing spec required for timing model");
+    let spec = problem
+        .spec
+        .timing
+        .expect("timing spec required for timing model");
     let lib = &problem.library;
 
     // Local horizon: generous enough that every worst-case violation is
@@ -89,7 +92,11 @@ pub fn build_timing_model(
         times.insert(key, (tau, t));
     };
     for &n in entries {
-        declare(&mut voc, EventEdge::BoundaryIn(n), format!("in:{}", n.index()));
+        declare(
+            &mut voc,
+            EventEdge::BoundaryIn(n),
+            format!("in:{}", n.index()),
+        );
     }
     for &(a, b) in scope_edges {
         declare(
@@ -99,7 +106,11 @@ pub fn build_timing_model(
         );
     }
     for &n in exits {
-        declare(&mut voc, EventEdge::BoundaryOut(n), format!("out:{}", n.index()));
+        declare(
+            &mut voc,
+            EventEdge::BoundaryOut(n),
+            format!("out:{}", n.index()),
+        );
     }
 
     // Component contracts.
@@ -131,29 +142,18 @@ pub fn build_timing_model(
         let mut a_pred = Pred::True;
         if jin.is_finite() {
             for &(tau, t) in &inputs {
-                a_pred = a_pred.and(Pred::abs_le(
-                    LinExpr::var(t) - LinExpr::var(tau),
-                    0.0,
-                    jin,
-                ));
+                a_pred = a_pred.and(Pred::abs_le(LinExpr::var(t) - LinExpr::var(tau), 0.0, jin));
             }
         }
         let mut g_pred = Pred::True;
         if jout.is_finite() {
             for &(tau, t) in &outputs {
-                g_pred = g_pred.and(Pred::abs_le(
-                    LinExpr::var(t) - LinExpr::var(tau),
-                    0.0,
-                    jout,
-                ));
+                g_pred = g_pred.and(Pred::abs_le(LinExpr::var(t) - LinExpr::var(tau), 0.0, jout));
             }
         }
         for &(_, t_in) in &inputs {
             for &(tau_out, _) in &outputs {
-                g_pred = g_pred.and(Pred::le(
-                    LinExpr::var(tau_out) - LinExpr::var(t_in),
-                    lat,
-                ));
+                g_pred = g_pred.and(Pred::le(LinExpr::var(tau_out) - LinExpr::var(t_in), lat));
             }
         }
         component_contracts.push(Contract::new(format!("T[{}]", w.name), a_pred, g_pred));
@@ -209,7 +209,11 @@ pub fn build_timing_model(
     }
     let system_contract = Contract::new("C_s^T", a_s, g_s);
 
-    CheckModel { vocabulary: voc, component_contracts, system_contract }
+    CheckModel {
+        vocabulary: voc,
+        component_contracts,
+        system_contract,
+    }
 }
 
 /// Build the flow-viewpoint check model (`C_i^F ⪯ C_s^F`) over the whole
@@ -220,7 +224,10 @@ pub fn build_timing_model(
 /// Panics if the problem has no flow spec.
 #[must_use]
 pub fn build_flow_model(problem: &Problem, arch: &Architecture) -> CheckModel {
-    let spec = problem.spec.flow.expect("flow spec required for flow model");
+    let spec = problem
+        .spec
+        .flow
+        .expect("flow spec required for flow model");
     let lib = &problem.library;
     let cap = problem.spec.flow_cap;
 
@@ -272,11 +279,17 @@ pub fn build_flow_model(problem: &Problem, arch: &Architecture) -> CheckModel {
         .nodes()
         .map(|(_, w)| lib.attr(w.implementation, attr::FLOW_CONS))
         .sum();
-    let g_s = Pred::le(LinExpr::constant_expr(total_gen), spec.max_supply)
-        .and(Pred::le(LinExpr::constant_expr(total_cons), spec.max_consumption));
+    let g_s = Pred::le(LinExpr::constant_expr(total_gen), spec.max_supply).and(Pred::le(
+        LinExpr::constant_expr(total_cons),
+        spec.max_consumption,
+    ));
     let system_contract = Contract::new("C_s^F", all_throughput_assumptions, g_s);
 
-    CheckModel { vocabulary: voc, component_contracts, system_contract }
+    CheckModel {
+        vocabulary: voc,
+        component_contracts,
+        system_contract,
+    }
 }
 
 impl CheckModel {
@@ -338,7 +351,10 @@ mod tests {
                 .with(JITTER_OUT, 0.5),
         );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency,
                 max_input_jitter: 1.0,
@@ -349,15 +365,19 @@ mod tests {
         };
         let p = Problem::new(t, lib, spec);
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         let arch = Architecture::decode(&p, &enc, &sol);
         (p, arch)
     }
 
     fn path_scope(arch: &Architecture) -> (Vec<NodeId>, Vec<(NodeId, NodeId)>) {
         let nodes: Vec<NodeId> = arch.graph().node_ids().collect();
-        let edges: Vec<(NodeId, NodeId)> =
-            arch.graph().edges().map(|e| (e.src, e.dst)).collect();
+        let edges: Vec<(NodeId, NodeId)> = arch.graph().edges().map(|e| (e.src, e.dst)).collect();
         (nodes, edges)
     }
 
@@ -369,7 +389,11 @@ mod tests {
         let model = build_timing_model(&p, &arch, &nodes, &edges, &[nodes[0]], &[nodes[2]]);
         let checker = RefinementChecker::new();
         let r = checker
-            .check(&model.vocabulary, &model.composition(), &model.system_contract)
+            .check(
+                &model.vocabulary,
+                &model.composition(),
+                &model.system_contract,
+            )
             .unwrap();
         assert!(r.holds(), "expected refinement to hold: {r}");
     }
@@ -382,7 +406,11 @@ mod tests {
         let model = build_timing_model(&p, &arch, &nodes, &edges, &[nodes[0]], &[nodes[2]]);
         let checker = RefinementChecker::new();
         let r = checker
-            .check(&model.vocabulary, &model.composition(), &model.system_contract)
+            .check(
+                &model.vocabulary,
+                &model.composition(),
+                &model.system_contract,
+            )
             .unwrap();
         assert!(!r.holds(), "expected refinement to fail");
     }
@@ -396,16 +424,23 @@ mod tests {
         let model = build_timing_model(&p, &arch, &nodes, &edges, &[nodes[0]], &[nodes[2]]);
         let checker = RefinementChecker::new();
         assert!(checker
-            .check(&model.vocabulary, &model.composition(), &model.system_contract)
+            .check(
+                &model.vocabulary,
+                &model.composition(),
+                &model.system_contract
+            )
             .unwrap()
             .holds());
 
         let (p2, arch2) = chain(6.0, 8.9);
         let (nodes2, edges2) = path_scope(&arch2);
-        let model2 =
-            build_timing_model(&p2, &arch2, &nodes2, &edges2, &[nodes2[0]], &[nodes2[2]]);
+        let model2 = build_timing_model(&p2, &arch2, &nodes2, &edges2, &[nodes2[0]], &[nodes2[2]]);
         assert!(!checker
-            .check(&model2.vocabulary, &model2.composition(), &model2.system_contract)
+            .check(
+                &model2.vocabulary,
+                &model2.composition(),
+                &model2.system_contract
+            )
             .unwrap()
             .holds());
     }
@@ -416,16 +451,27 @@ mod tests {
         let model = build_flow_model(&p, &arch);
         let checker = RefinementChecker::new();
         assert!(checker
-            .check(&model.vocabulary, &model.composition(), &model.system_contract)
+            .check(
+                &model.vocabulary,
+                &model.composition(),
+                &model.system_contract
+            )
             .unwrap()
             .holds());
 
         // Tighten the supply bound below the source generation (10).
         let mut p2 = p.clone();
-        p2.spec.flow = Some(FlowSpec { max_supply: 9.0, max_consumption: 100.0 });
+        p2.spec.flow = Some(FlowSpec {
+            max_supply: 9.0,
+            max_consumption: 100.0,
+        });
         let model2 = build_flow_model(&p2, &arch);
         assert!(!checker
-            .check(&model2.vocabulary, &model2.composition(), &model2.system_contract)
+            .check(
+                &model2.vocabulary,
+                &model2.composition(),
+                &model2.system_contract
+            )
             .unwrap()
             .holds());
     }

@@ -78,20 +78,23 @@ pub mod attr;
 pub mod baseline;
 mod candidate;
 pub mod certificate;
+pub mod checkpoint;
 pub mod encode;
 mod explorer;
-pub mod synth;
 pub mod gen;
 mod library;
 mod problem;
 pub mod refinement;
 pub mod report;
+pub mod synth;
 mod template;
 mod viewpoint;
 
 pub use candidate::{ArchEdge, ArchNode, Architecture};
+pub use checkpoint::{AuxVarRecord, CheckpointParseError, CutRecord, ExplorerCheckpoint};
 pub use explorer::{
     explore, Exploration, ExplorationStats, ExploreError, Explorer, ExplorerConfig, Step,
+    StopReason,
 };
 pub use library::{ImplId, Implementation, Library};
 pub use problem::{FlowSpec, Problem, SystemSpec, TimingSpec};

@@ -69,7 +69,11 @@ impl Library {
     /// Register an implementation for a type.
     pub fn add(&mut self, name: impl Into<String>, ty: TypeId, attrs: Attrs) -> ImplId {
         let id = ImplId(u32::try_from(self.impls.len()).expect("too many implementations"));
-        self.impls.push(Implementation { name: name.into(), ty, attrs });
+        self.impls.push(Implementation {
+            name: name.into(),
+            ty,
+            attrs,
+        });
         if self.by_type.len() <= ty.index() {
             self.by_type.resize_with(ty.index() + 1, Vec::new);
         }
@@ -118,7 +122,10 @@ impl Library {
 
     /// Iterate over all `(id, implementation)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ImplId, &Implementation)> {
-        self.impls.iter().enumerate().map(|(i, im)| (ImplId::from_index(i), im))
+        self.impls
+            .iter()
+            .enumerate()
+            .map(|(i, im)| (ImplId::from_index(i), im))
     }
 
     /// Largest finite value of an attribute across the library (used for

@@ -35,7 +35,12 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.scope {
             ViolationScope::Path(nodes) => {
-                write!(f, "{} violated on a {}-node path", self.viewpoint, nodes.len())
+                write!(
+                    f,
+                    "{} violated on a {}-node path",
+                    self.viewpoint,
+                    nodes.len()
+                )
             }
             ViolationScope::Whole => {
                 write!(f, "{} violated on the whole architecture", self.viewpoint)
@@ -57,7 +62,10 @@ pub struct RefinementConfig {
 
 impl Default for RefinementConfig {
     fn default() -> Self {
-        RefinementConfig { compositional: true, max_paths: 100_000 }
+        RefinementConfig {
+            compositional: true,
+            max_paths: 100_000,
+        }
     }
 }
 
@@ -113,8 +121,7 @@ fn check_candidate_inner(
             Viewpoint::Timing if config.compositional => {
                 let sources = arch.source_nodes(problem);
                 let sinks = arch.sink_nodes(problem);
-                let paths =
-                    all_simple_paths(arch.graph(), &sources, &sinks, config.max_paths);
+                let paths = all_simple_paths(arch.graph(), &sources, &sinks, config.max_paths);
                 for path in paths {
                     let edges: Vec<(NodeId, NodeId)> =
                         path.windows(2).map(|w| (w[0], w[1])).collect();
@@ -143,8 +150,7 @@ fn check_candidate_inner(
                     arch.graph().edges().map(|e| (e.src, e.dst)).collect();
                 let sources = arch.source_nodes(problem);
                 let sinks = arch.sink_nodes(problem);
-                let model =
-                    build_timing_model(problem, arch, &nodes, &edges, &sources, &sinks);
+                let model = build_timing_model(problem, arch, &nodes, &edges, &sources, &sinks);
                 if !refines(&model, checker)? {
                     out.push(Violation {
                         viewpoint: Viewpoint::Timing,
@@ -209,7 +215,10 @@ mod tests {
         lib.add(
             "S",
             src_t,
-            Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_GEN, 10.0)
+                .with(LATENCY, 1.0),
         );
         // Single machine impl with latency 12 — the B path (2 machines deep
         // below) stays fine but tight bounds trip it.
@@ -225,10 +234,16 @@ mod tests {
         lib.add(
             "K",
             sink_t,
-            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0),
+            Attrs::new()
+                .with(COST, 1.0)
+                .with(FLOW_CONS, 5.0)
+                .with(LATENCY, 1.0),
         );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
             timing: Some(TimingSpec {
                 max_latency,
                 max_input_jitter: 1.0,
@@ -239,7 +254,12 @@ mod tests {
         };
         let p = Problem::new(t, lib, spec);
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         let arch = Architecture::decode(&p, &enc, &sol);
         (p, arch)
     }
@@ -279,7 +299,10 @@ mod tests {
     #[test]
     fn monolithic_failure_reports_whole() {
         let (p, arch) = two_line_problem(10.0);
-        let cfg = RefinementConfig { compositional: false, ..RefinementConfig::default() };
+        let cfg = RefinementConfig {
+            compositional: false,
+            ..RefinementConfig::default()
+        };
         let v = check_candidate(&p, &arch, &cfg, &RefinementChecker::new())
             .unwrap()
             .expect("violation expected");
@@ -291,7 +314,10 @@ mod tests {
     fn flow_violation_detected_whole() {
         let (mut p, arch) = two_line_problem(50.0);
         // Two sources generate 20 total; cap supply at 15.
-        p.spec.flow = Some(FlowSpec { max_supply: 15.0, max_consumption: 100.0 });
+        p.spec.flow = Some(FlowSpec {
+            max_supply: 15.0,
+            max_consumption: 100.0,
+        });
         let v = check_candidate(
             &p,
             &arch,

@@ -85,11 +85,36 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 #[must_use]
 pub fn describe_outcome(problem: &Problem, e: &Exploration) -> String {
     match e {
-        Exploration::Optimal { architecture, stats } => {
+        Exploration::Optimal {
+            architecture,
+            stats,
+        } => {
             format!("{}\n{}", architecture.describe(problem), stats)
         }
         Exploration::Infeasible { stats } => {
             format!("no feasible architecture exists\n{stats}")
+        }
+        Exploration::Partial {
+            incumbent,
+            lower_bound,
+            cuts,
+            stats,
+            reason,
+        } => {
+            let mut out = format!("exploration stopped early: {reason}\n");
+            match incumbent {
+                Some(arch) => {
+                    out.push_str("best unverified candidate:\n");
+                    out.push_str(&arch.describe(problem));
+                    out.push('\n');
+                }
+                None => out.push_str("no candidate selected yet\n"),
+            }
+            if let Some(lb) = lower_bound {
+                out.push_str(&format!("proven cost lower bound: {lb}\n"));
+            }
+            out.push_str(&format!("{cuts} certificate cuts remain valid\n{stats}"));
+            out
         }
     }
 }
@@ -111,7 +136,13 @@ pub fn architecture_dot(problem: &Problem, arch: &Architecture) -> String {
     to_dot(
         arch.graph(),
         problem.template.name(),
-        |_, w| format!("{} : {}", w.name, problem.library.implementation(w.implementation).name),
+        |_, w| {
+            format!(
+                "{} : {}",
+                w.name,
+                problem.library.implementation(w.implementation).name
+            )
+        },
         |e| e.weight.flow.map_or(String::new(), |f| format!("{f:.1}")),
     )
 }
@@ -146,10 +177,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -200,10 +228,21 @@ mod tests {
         let k = t.add_required_node("K", sink_t);
         t.add_candidate_edge(s, k);
         let mut lib = Library::new();
-        lib.add("S0", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 8.0));
-        lib.add("K0", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0));
+        lib.add(
+            "S0",
+            src_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_GEN, 8.0),
+        );
+        lib.add(
+            "K0",
+            sink_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0),
+        );
         let spec = SystemSpec {
-            flow: Some(FlowSpec { max_supply: 10.0, max_consumption: 10.0 }),
+            flow: Some(FlowSpec {
+                max_supply: 10.0,
+                max_consumption: 10.0,
+            }),
             ..SystemSpec::default()
         };
         let p = Problem::new(t, lib, spec);
@@ -213,7 +252,12 @@ mod tests {
         assert!(tdot.contains("S : src"));
 
         let enc = encode_problem2(&p).unwrap();
-        let sol = enc.model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = enc
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         let arch = Architecture::decode(&p, &enc, &sol);
         let adot = architecture_dot(&p, &arch);
         assert!(adot.contains("S : S0"));

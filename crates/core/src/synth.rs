@@ -202,17 +202,29 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(&SynthConfig { seed: 7, ..SynthConfig::default() });
-        let b = generate(&SynthConfig { seed: 7, ..SynthConfig::default() });
+        let a = generate(&SynthConfig {
+            seed: 7,
+            ..SynthConfig::default()
+        });
+        let b = generate(&SynthConfig {
+            seed: 7,
+            ..SynthConfig::default()
+        });
         assert_eq!(a, b);
-        let c = generate(&SynthConfig { seed: 8, ..SynthConfig::default() });
+        let c = generate(&SynthConfig {
+            seed: 8,
+            ..SynthConfig::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn generated_problems_validate() {
         for seed in 0..20 {
-            let p = generate(&SynthConfig { seed, ..SynthConfig::default() });
+            let p = generate(&SynthConfig {
+                seed,
+                ..SynthConfig::default()
+            });
             assert!(p.validate().is_empty(), "seed {seed}: {:?}", p.validate());
         }
     }
@@ -235,7 +247,10 @@ mod tests {
     #[test]
     fn generated_problems_explore_to_completion() {
         for seed in 0..6 {
-            let p = generate(&SynthConfig { seed, ..SynthConfig::default() });
+            let p = generate(&SynthConfig {
+                seed,
+                ..SynthConfig::default()
+            });
             let r = explore(&p, &ExplorerConfig::complete())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             // Tight-but-not-impossible budgets: most seeds are feasible; all
@@ -246,8 +261,16 @@ mod tests {
 
     #[test]
     fn tighter_slack_costs_more() {
-        let loose = generate(&SynthConfig { seed: 11, latency_slack: 1.5, ..SynthConfig::default() });
-        let tight = generate(&SynthConfig { seed: 11, latency_slack: 0.1, ..SynthConfig::default() });
+        let loose = generate(&SynthConfig {
+            seed: 11,
+            latency_slack: 1.5,
+            ..SynthConfig::default()
+        });
+        let tight = generate(&SynthConfig {
+            seed: 11,
+            latency_slack: 0.1,
+            ..SynthConfig::default()
+        });
         let c_loose = explore(&loose, &ExplorerConfig::complete())
             .unwrap()
             .architecture()
@@ -257,7 +280,10 @@ mod tests {
             .architecture()
             .map(|a| a.cost());
         if let (Some(l), Some(t)) = (c_loose, c_tight) {
-            assert!(t >= l - 1e-9, "tight budget ({t}) cannot be cheaper than loose ({l})");
+            assert!(
+                t >= l - 1e-9,
+                "tight budget ({t}) cannot be cheaper than loose ({l})"
+            );
         }
     }
 }

@@ -44,7 +44,12 @@ pub struct TypeConfig {
 
 impl Default for TypeConfig {
     fn default() -> Self {
-        TypeConfig { source: false, sink: false, max_in: u32::MAX, max_out: u32::MAX }
+        TypeConfig {
+            source: false,
+            sink: false,
+            max_in: u32::MAX,
+            max_out: u32::MAX,
+        }
     }
 }
 
@@ -52,19 +57,29 @@ impl TypeConfig {
     /// An intermediate type with the given fan bounds.
     #[must_use]
     pub fn bounded(max_in: u32, max_out: u32) -> Self {
-        TypeConfig { max_in, max_out, ..TypeConfig::default() }
+        TypeConfig {
+            max_in,
+            max_out,
+            ..TypeConfig::default()
+        }
     }
 
     /// A source type (no predecessors expected).
     #[must_use]
     pub fn source() -> Self {
-        TypeConfig { source: true, ..TypeConfig::default() }
+        TypeConfig {
+            source: true,
+            ..TypeConfig::default()
+        }
     }
 
     /// A sink type (no successors expected).
     #[must_use]
     pub fn sink() -> Self {
-        TypeConfig { sink: true, ..TypeConfig::default() }
+        TypeConfig {
+            sink: true,
+            ..TypeConfig::default()
+        }
     }
 }
 
@@ -113,7 +128,11 @@ impl Template {
     /// Create an empty template.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Template { name: name.into(), graph: DiGraph::new(), types: Vec::new() }
+        Template {
+            name: name.into(),
+            graph: DiGraph::new(),
+            types: Vec::new(),
+        }
     }
 
     /// Template name.
@@ -125,7 +144,10 @@ impl Template {
     /// Declare a component type.
     pub fn add_type(&mut self, name: impl Into<String>, config: TypeConfig) -> TypeId {
         let id = TypeId(u32::try_from(self.types.len()).expect("too many types"));
-        self.types.push(TypeInfo { name: name.into(), config });
+        self.types.push(TypeInfo {
+            name: name.into(),
+            config,
+        });
         id
     }
 
@@ -136,8 +158,12 @@ impl Template {
     /// Panics if `ty` was not declared on this template.
     pub fn add_node(&mut self, name: impl Into<String>, ty: TypeId) -> NodeId {
         assert!(ty.index() < self.types.len(), "unknown type {ty}");
-        self.graph
-            .add_node(TemplateNode { name: name.into(), ty, required: false, weight: 1.0 })
+        self.graph.add_node(TemplateNode {
+            name: name.into(),
+            ty,
+            required: false,
+            weight: 1.0,
+        })
     }
 
     /// Add a node that must be instantiated in every candidate architecture.

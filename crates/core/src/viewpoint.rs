@@ -31,7 +31,11 @@ impl Viewpoint {
     /// All viewpoints, in checking order.
     #[must_use]
     pub fn all() -> [Viewpoint; 3] {
-        [Viewpoint::Interconnection, Viewpoint::Flow, Viewpoint::Timing]
+        [
+            Viewpoint::Interconnection,
+            Viewpoint::Flow,
+            Viewpoint::Timing,
+        ]
     }
 }
 

@@ -107,7 +107,12 @@ pub struct DiGraph<N, E> {
 
 impl<N, E> Default for DiGraph<N, E> {
     fn default() -> Self {
-        DiGraph { nodes: Vec::new(), edges: Vec::new(), out_adj: Vec::new(), in_adj: Vec::new() }
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+        }
     }
 }
 
@@ -204,7 +209,10 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterate over `(id, &weight)` for all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, w)| (NodeId::from_index(i), w))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (NodeId::from_index(i), w))
     }
 
     /// Iterate over all edges as [`EdgeRef`]s.
@@ -221,7 +229,12 @@ impl<N, E> DiGraph<N, E> {
     pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
         self.out_adj[n.index()].iter().map(move |&e| {
             let d = &self.edges[e.index()];
-            EdgeRef { id: e, src: d.src, dst: d.dst, weight: &d.weight }
+            EdgeRef {
+                id: e,
+                src: d.src,
+                dst: d.dst,
+                weight: &d.weight,
+            }
         })
     }
 
@@ -229,7 +242,12 @@ impl<N, E> DiGraph<N, E> {
     pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeRef<'_, E>> {
         self.in_adj[n.index()].iter().map(move |&e| {
             let d = &self.edges[e.index()];
-            EdgeRef { id: e, src: d.src, dst: d.dst, weight: &d.weight }
+            EdgeRef {
+                id: e,
+                src: d.src,
+                dst: d.dst,
+                weight: &d.weight,
+            }
         })
     }
 
@@ -298,7 +316,12 @@ impl<N, E> DiGraph<N, E> {
 
 impl<N: fmt::Debug, E> fmt::Display for DiGraph<N, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "digraph ({} nodes, {} edges):", self.num_nodes(), self.num_edges())?;
+        writeln!(
+            f,
+            "digraph ({} nodes, {} edges):",
+            self.num_nodes(),
+            self.num_edges()
+        )?;
         for (id, w) in self.nodes() {
             writeln!(f, "  {id}: {w:?}")?;
         }

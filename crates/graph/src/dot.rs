@@ -30,7 +30,12 @@ where
     let _ = writeln!(out, "digraph {} {{", sanitize(name));
     let _ = writeln!(out, "  rankdir=LR;");
     for (id, w) in graph.nodes() {
-        let _ = writeln!(out, "  n{} [label=\"{}\"];", id.index(), escape(&node_label(id, w)));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            id.index(),
+            escape(&node_label(id, w))
+        );
     }
     for e in graph.edges() {
         let label = edge_label(e);
@@ -51,8 +56,16 @@ where
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
     if cleaned.is_empty() {
         "g".to_string()
     } else {

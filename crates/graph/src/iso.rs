@@ -62,7 +62,10 @@ impl Embedding {
 
     /// Iterate over `(pattern, target)` node pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.map.iter().enumerate().map(|(i, &t)| (NodeId::from_index(i), t))
+        self.map
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (NodeId::from_index(i), t))
     }
 }
 
@@ -122,11 +125,7 @@ where
 /// Whether `pattern` and `target` are isomorphic as directed graphs
 /// (same node count, same edge count, and an induced embedding exists).
 #[must_use]
-pub fn is_isomorphic<N1, E1, N2, E2, F>(
-    a: &DiGraph<N1, E1>,
-    b: &DiGraph<N2, E2>,
-    compat: F,
-) -> bool
+pub fn is_isomorphic<N1, E1, N2, E2, F>(a: &DiGraph<N1, E1>, b: &DiGraph<N2, E2>, compat: F) -> bool
 where
     F: Fn(&N1, &N2) -> bool,
 {
@@ -260,7 +259,11 @@ where
     }
 
     fn record(&mut self) {
-        let map = self.map.iter().map(|m| m.expect("complete mapping")).collect();
+        let map = self
+            .map
+            .iter()
+            .map(|m| m.expect("complete mapping"))
+            .collect();
         self.out.push(Embedding { map });
     }
 
@@ -355,7 +358,10 @@ mod tests {
     fn path_in_two_lines() {
         let pat = path_graph(&["s", "m", "t"]);
         let mut tgt = DiGraph::new();
-        let ids: Vec<_> = ["s", "m", "t", "s", "m", "t"].iter().map(|&l| tgt.add_node(l)).collect();
+        let ids: Vec<_> = ["s", "m", "t", "s", "m", "t"]
+            .iter()
+            .map(|&l| tgt.add_node(l))
+            .collect();
         tgt.add_edge(ids[0], ids[1], ());
         tgt.add_edge(ids[1], ids[2], ());
         tgt.add_edge(ids[3], ids[4], ());

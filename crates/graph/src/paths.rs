@@ -48,7 +48,15 @@ pub fn all_simple_paths<N, E>(
             continue;
         }
         seen_src[s.index()] = true;
-        dfs(graph, s, &is_sink, &mut on_path, &mut path, &mut out, max_paths);
+        dfs(
+            graph,
+            s,
+            &is_sink,
+            &mut on_path,
+            &mut path,
+            &mut out,
+            max_paths,
+        );
         if out.len() >= max_paths {
             break;
         }

@@ -25,7 +25,12 @@ fn build_pair(
 }
 
 /// Random simple digraph (no self-loops, no parallel edges).
-fn random_graph(rng: &mut StdRng, n: usize, p: f64, num_labels: u8) -> (Vec<u8>, Vec<(usize, usize)>) {
+fn random_graph(
+    rng: &mut StdRng,
+    n: usize,
+    p: f64,
+    num_labels: u8,
+) -> (Vec<u8>, Vec<(usize, usize)>) {
     let labels: Vec<u8> = (0..n).map(|_| rng.random_range(0..num_labels)).collect();
     let mut edges = Vec::new();
     for a in 0..n {

@@ -89,7 +89,12 @@ impl Constraint {
         let k = expr.constant();
         let mut expr = expr;
         expr.add_constant(-k);
-        Constraint { name: name.into(), expr, cmp, rhs: rhs - k }
+        Constraint {
+            name: name.into(),
+            expr,
+            cmp,
+            rhs: rhs - k,
+        }
     }
 
     /// Whether the assignment `values[v.index()]` satisfies this constraint

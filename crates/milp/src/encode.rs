@@ -120,7 +120,13 @@ pub fn implies_abs_le(
     bound: f64,
 ) -> Result<(ConstrId, ConstrId), SolveError> {
     let name = name.into();
-    let hi = implies_le(model, format!("{name}.hi"), guard, expr.clone(), center + bound)?;
+    let hi = implies_le(
+        model,
+        format!("{name}.hi"),
+        guard,
+        expr.clone(),
+        center + bound,
+    )?;
     let lo = implies_ge(model, format!("{name}.lo"), guard, expr, center - bound)?;
     Ok((hi, lo))
 }
@@ -140,7 +146,11 @@ impl Atom {
     /// Build an atom.
     #[must_use]
     pub fn new(expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> Self {
-        Atom { expr: expr.into(), cmp, rhs }
+        Atom {
+            expr: expr.into(),
+            cmp,
+            rhs,
+        }
     }
 }
 
@@ -255,7 +265,12 @@ pub fn indicator_or(
 ) -> Result<(), SolveError> {
     let name = name.into();
     let sum = LinExpr::sum(vars.iter().copied());
-    model.add_constr(format!("{name}.le"), LinExpr::var(indicator) - sum, Cmp::Le, 0.0)?;
+    model.add_constr(
+        format!("{name}.le"),
+        LinExpr::var(indicator) - sum,
+        Cmp::Le,
+        0.0,
+    )?;
     for (i, &v) in vars.iter().enumerate() {
         model.add_constr(
             format!("{name}.ge{i}"),
@@ -307,7 +322,8 @@ mod tests {
         assert!((sol.value(x) - 10.0).abs() < 1e-6);
 
         // Force the guard: x must drop to 3.
-        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0)
+            .unwrap();
         let sol = solve(&m).expect_optimal().unwrap();
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
     }
@@ -318,7 +334,8 @@ mod tests {
         let g = m.add_binary("g");
         let x = m.add_continuous("x", 0.0, 10.0);
         implies_ge(&mut m, "imp", g, LinExpr::var(x), 7.0).unwrap();
-        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0)
+            .unwrap();
         m.set_objective(Sense::Minimize, 1.0 * x);
         let sol = solve(&m).expect_optimal().unwrap();
         assert!((sol.value(x) - 7.0).abs() < 1e-6);
@@ -347,7 +364,8 @@ mod tests {
         let g = m.add_binary("g");
         let x = m.add_continuous("x", 0.0, 10.0);
         implies_eq(&mut m, "pin", g, LinExpr::var(x), 4.0).unwrap();
-        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0)
+            .unwrap();
         m.set_objective(Sense::Maximize, 1.0 * x);
         let sol = solve(&m).expect_optimal().unwrap();
         assert!((sol.value(x) - 4.0).abs() < 1e-6);
@@ -359,7 +377,8 @@ mod tests {
         let g = m.add_binary("g");
         let t = m.add_continuous("t", 0.0, 100.0);
         implies_abs_le(&mut m, "jitter", g, LinExpr::var(t), 50.0, 2.0).unwrap();
-        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0).unwrap();
+        m.add_constr("force", LinExpr::var(g), Cmp::Ge, 1.0)
+            .unwrap();
         m.set_objective(Sense::Maximize, 1.0 * t);
         let sol = solve(&m).expect_optimal().unwrap();
         assert!((sol.value(t) - 52.0).abs() < 1e-6);
@@ -387,8 +406,10 @@ mod tests {
         assert!(sol.value(x) >= 9.0 - 1e-6);
 
         // Force the middle: infeasible.
-        m.add_constr("mid_lo", LinExpr::var(x), Cmp::Ge, 2.0).unwrap();
-        m.add_constr("mid_hi", LinExpr::var(x), Cmp::Le, 8.0).unwrap();
+        m.add_constr("mid_lo", LinExpr::var(x), Cmp::Ge, 2.0)
+            .unwrap();
+        m.add_constr("mid_hi", LinExpr::var(x), Cmp::Le, 8.0)
+            .unwrap();
         assert!(!solve(&m).is_feasible());
     }
 

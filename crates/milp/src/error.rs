@@ -61,11 +61,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(SolveError::InvalidModel("x".into()).to_string().contains("invalid model"));
-        assert!(SolveError::IterationLimit { limit: 9 }.to_string().contains('9'));
+        assert!(SolveError::InvalidModel("x".into())
+            .to_string()
+            .contains("invalid model"));
+        assert!(SolveError::IterationLimit { limit: 9 }
+            .to_string()
+            .contains('9'));
         assert!(SolveError::NodeLimit { limit: 3 }.to_string().contains('3'));
-        assert!(SolveError::TimeLimit { limit_secs: 1.5 }.to_string().contains("1.5"));
-        assert!(SolveError::Numerical("bad pivot".into()).to_string().contains("bad pivot"));
+        assert!(SolveError::TimeLimit { limit_secs: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(SolveError::Numerical("bad pivot".into())
+            .to_string()
+            .contains("bad pivot"));
     }
 
     #[test]

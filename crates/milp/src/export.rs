@@ -139,8 +139,10 @@ mod tests {
         let y = m.add_continuous("level", 0.0, 10.0);
         let z = m.add_integer("count", -2.0, 5.0);
         let f = m.add_free("offset");
-        m.add_constr("cap", 2.0 * x + 1.0 * y - 0.5 * z, Cmp::Le, 7.0).unwrap();
-        m.add_constr("link", 1.0 * y + 1.0 * f, Cmp::Eq, 3.0).unwrap();
+        m.add_constr("cap", 2.0 * x + 1.0 * y - 0.5 * z, Cmp::Le, 7.0)
+            .unwrap();
+        m.add_constr("link", 1.0 * y + 1.0 * f, Cmp::Eq, 3.0)
+            .unwrap();
         m.set_objective(Sense::Minimize, 1.0 * x + 2.0 * y);
         m
     }
@@ -148,7 +150,14 @@ mod tests {
     #[test]
     fn sections_present() {
         let text = to_lp_format(&sample());
-        for section in ["Minimize", "Subject To", "Bounds", "Binaries", "Generals", "End"] {
+        for section in [
+            "Minimize",
+            "Subject To",
+            "Bounds",
+            "Binaries",
+            "Generals",
+            "End",
+        ] {
             assert!(text.contains(section), "missing section {section}:\n{text}");
         }
     }

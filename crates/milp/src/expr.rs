@@ -41,7 +41,10 @@ impl LinExpr {
     /// A constant expression with no variable terms.
     #[must_use]
     pub fn constant_expr(k: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: k }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: k,
+        }
     }
 
     /// The expression `1·v`.
@@ -57,7 +60,10 @@ impl LinExpr {
         if c != 0.0 {
             terms.insert(v, c);
         }
-        LinExpr { terms, constant: 0.0 }
+        LinExpr {
+            terms,
+            constant: 0.0,
+        }
     }
 
     /// Sum of `1·v` over an iterator of variables.

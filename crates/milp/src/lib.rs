@@ -48,9 +48,9 @@ mod constraint;
 pub mod encode;
 mod error;
 pub mod export;
-pub mod parse;
 mod expr;
 mod model;
+pub mod parse;
 mod presolve;
 mod solution;
 pub(crate) mod solver;
@@ -63,5 +63,8 @@ pub use expr::LinExpr;
 pub use model::{Model, ModelStats, Sense};
 pub use presolve::{presolve, PresolveReport};
 pub use solution::{Outcome, Solution, SolveStats, Status};
+pub use solver::budget::{Budget, Deadline};
+#[cfg(feature = "fault-injection")]
+pub use solver::faults::{FaultKind, FaultPlan};
 pub use solver::{SolveOptions, Solver};
-pub use var::{VarId, VarType};
+pub use var::{VarDef, VarId, VarType};

@@ -86,7 +86,10 @@ impl Model {
     /// Create an empty model.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Model { name: name.into(), ..Model::default() }
+        Model {
+            name: name.into(),
+            ..Model::default()
+        }
     }
 
     /// Model name.
@@ -148,7 +151,10 @@ impl Model {
 
     /// Iterate over `(id, definition)` for all variables.
     pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarDef)> {
-        self.vars.iter().enumerate().map(|(i, d)| (VarId::from_index(i), d))
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (VarId::from_index(i), d))
     }
 
     /// Tighten the bounds of a variable (used by branch-and-bound and
@@ -189,7 +195,9 @@ impl Model {
         let expr = expr.into();
         self.validate_expr(&expr)?;
         if !rhs.is_finite() {
-            return Err(SolveError::InvalidModel("constraint rhs must be finite".into()));
+            return Err(SolveError::InvalidModel(
+                "constraint rhs must be finite".into(),
+            ));
         }
         let id = ConstrId(u32::try_from(self.constrs.len()).expect("too many constraints"));
         self.constrs.push(Constraint::new(name, expr, cmp, rhs));
@@ -255,7 +263,11 @@ impl Model {
     #[must_use]
     pub fn stats(&self) -> ModelStats {
         let num_binaries = self.vars.iter().filter(|d| d.ty == VarType::Binary).count();
-        let num_integers = self.vars.iter().filter(|d| d.ty == VarType::Integer).count();
+        let num_integers = self
+            .vars
+            .iter()
+            .filter(|d| d.ty == VarType::Integer)
+            .count();
         ModelStats {
             num_vars: self.vars.len(),
             num_binaries,
@@ -353,7 +365,9 @@ mod tests {
         let mut m = Model::new("t");
         let _ = m.add_binary("b");
         let ghost = VarId::from_index(10);
-        let err = m.add_constr("bad", LinExpr::var(ghost), Cmp::Le, 1.0).unwrap_err();
+        let err = m
+            .add_constr("bad", LinExpr::var(ghost), Cmp::Le, 1.0)
+            .unwrap_err();
         assert!(matches!(err, SolveError::InvalidModel(_)));
     }
 
@@ -361,8 +375,12 @@ mod tests {
     fn rejects_nonfinite() {
         let mut m = Model::new("t");
         let x = m.add_continuous("x", 0.0, 1.0);
-        assert!(m.add_constr("bad", LinExpr::term(x, f64::NAN), Cmp::Le, 1.0).is_err());
-        assert!(m.add_constr("bad", LinExpr::var(x), Cmp::Le, f64::INFINITY).is_err());
+        assert!(m
+            .add_constr("bad", LinExpr::term(x, f64::NAN), Cmp::Le, 1.0)
+            .is_err());
+        assert!(m
+            .add_constr("bad", LinExpr::var(x), Cmp::Le, f64::INFINITY)
+            .is_err());
     }
 
     #[test]
@@ -374,7 +392,10 @@ mod tests {
         assert!(m.is_feasible_point(&[0.5, 1.0], 1e-9));
         assert!(!m.is_feasible_point(&[0.5, 0.5], 1e-9), "fractional binary");
         assert!(!m.is_feasible_point(&[1.5, 0.0], 1e-9), "bound violation");
-        assert!(!m.is_feasible_point(&[1.0, 1.0], 1e-9), "constraint violation");
+        assert!(
+            !m.is_feasible_point(&[1.0, 1.0], 1e-9),
+            "constraint violation"
+        );
         assert!(!m.is_feasible_point(&[1.0], 1e-9), "short vector");
     }
 

@@ -168,7 +168,10 @@ impl Parser {
         let text = std::mem::take(&mut self.pending);
         let (label, rest) = split_label(&text);
         let (lhs_src, cmp, rhs_src) = split_cmp(rest).ok_or_else(|| {
-            err(no, &format!("constraint without a comparison: `{}`", rest.trim()))
+            err(
+                no,
+                &format!("constraint without a comparison: `{}`", rest.trim()),
+            )
         })?;
         let lhs = self.parse_expr(lhs_src, no)?;
         let rhs: f64 = rhs_src
@@ -399,7 +402,11 @@ End
         let m = from_lp_format(text).unwrap();
         assert_eq!(m.num_vars(), 2);
         assert_eq!(m.num_constrs(), 3);
-        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = m
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!((sol.objective() - 34.0).abs() < 1e-6);
     }
 
@@ -429,7 +436,8 @@ End
         let a = m.add_binary("a");
         let b = m.add_integer("b", -2.0, 7.0);
         let c = m.add_continuous("c", 0.0, 3.5);
-        m.add_constr("k1", 2.0 * a + 1.0 * b - 0.5 * c, Cmp::Le, 6.0).unwrap();
+        m.add_constr("k1", 2.0 * a + 1.0 * b - 0.5 * c, Cmp::Le, 6.0)
+            .unwrap();
         m.add_constr("k2", 1.0 * b + 1.0 * c, Cmp::Ge, 1.0).unwrap();
         m.set_objective(crate::Sense::Maximize, 3.0 * a + 1.0 * b + 0.25 * c);
 
@@ -437,8 +445,16 @@ End
         let back = from_lp_format(&text).unwrap();
         assert_eq!(back.num_vars(), m.num_vars());
         assert_eq!(back.num_constrs(), m.num_constrs());
-        let s1 = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
-        let s2 = back.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let s1 = m
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
+        let s2 = back
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!(
             (s1.objective() - s2.objective()).abs() < 1e-6,
             "{} vs {}",
@@ -459,7 +475,11 @@ Subject To
 End
 ";
         let m = from_lp_format(text).unwrap();
-        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = m
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!((sol.objective() - 3.0).abs() < 1e-9);
     }
 
@@ -480,7 +500,11 @@ Subject To
 End
 ";
         let m = from_lp_format(text).unwrap();
-        let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = m
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         assert!((sol.objective() - 4.0).abs() < 1e-9, "x=2 plus constant 2");
     }
 }

@@ -26,7 +26,11 @@ impl fmt::Display for PresolveReport {
         if self.infeasible {
             write!(f, "presolve: infeasible after {} rounds", self.rounds)
         } else {
-            write!(f, "presolve: {} tightenings in {} rounds", self.tightened, self.rounds)
+            write!(
+                f,
+                "presolve: {} tightenings in {} rounds",
+                self.tightened, self.rounds
+            )
         }
     }
 }
@@ -95,7 +99,11 @@ fn tighten_with_report(
                 let mut inf_terms = 0usize;
                 for (v, a0) in c.expr.iter() {
                     let a = sign * a0;
-                    let contrib = if a > 0.0 { a * lbs[v.index()] } else { a * ubs[v.index()] };
+                    let contrib = if a > 0.0 {
+                        a * lbs[v.index()]
+                    } else {
+                        a * ubs[v.index()]
+                    };
                     if contrib.is_finite() {
                         min_act += contrib;
                     } else {
@@ -243,9 +251,17 @@ mod tests {
 
     #[test]
     fn report_display() {
-        let rep = PresolveReport { rounds: 2, tightened: 5, infeasible: false };
+        let rep = PresolveReport {
+            rounds: 2,
+            tightened: 5,
+            infeasible: false,
+        };
         assert!(rep.to_string().contains("5 tightenings"));
-        let bad = PresolveReport { rounds: 1, tightened: 0, infeasible: true };
+        let bad = PresolveReport {
+            rounds: 1,
+            tightened: 0,
+            infeasible: true,
+        };
         assert!(bad.to_string().contains("infeasible"));
     }
 }

@@ -35,6 +35,11 @@ pub struct SolveStats {
     pub nodes: u64,
     /// Wall-clock solve time in seconds.
     pub time_secs: f64,
+    /// Retries the solver needed to absorb [`SolveError::Numerical`]
+    /// failures (0 on a clean solve).
+    ///
+    /// [`SolveError::Numerical`]: crate::SolveError::Numerical
+    pub numerical_retries: u64,
 }
 
 impl fmt::Display for SolveStats {
@@ -43,7 +48,11 @@ impl fmt::Display for SolveStats {
             f,
             "{} nodes, {} pivots, {:.3} s",
             self.nodes, self.simplex_iterations, self.time_secs
-        )
+        )?;
+        if self.numerical_retries > 0 {
+            write!(f, " ({} numerical retries)", self.numerical_retries)?;
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +151,15 @@ impl Outcome {
         }
     }
 
+    /// Mutable solve statistics regardless of status.
+    pub fn stats_mut(&mut self) -> &mut SolveStats {
+        match self {
+            Outcome::Optimal { stats, .. }
+            | Outcome::Infeasible { stats }
+            | Outcome::Unbounded { stats } => stats,
+        }
+    }
+
     /// The optimal solution, if this outcome is optimal.
     #[must_use]
     pub fn solution(&self) -> Option<&Solution> {
@@ -211,19 +229,26 @@ mod tests {
 
     #[test]
     fn outcome_accessors() {
-        let o = Outcome::Optimal { solution: sol(), stats: SolveStats::default() };
+        let o = Outcome::Optimal {
+            solution: sol(),
+            stats: SolveStats::default(),
+        };
         assert_eq!(o.status(), Status::Optimal);
         assert!(o.is_feasible());
         assert!(o.solution().is_some());
         assert!(o.clone().expect_optimal().is_ok());
 
-        let i = Outcome::Infeasible { stats: SolveStats::default() };
+        let i = Outcome::Infeasible {
+            stats: SolveStats::default(),
+        };
         assert_eq!(i.status(), Status::Infeasible);
         assert!(!i.is_feasible());
         assert!(i.solution().is_none());
         assert!(i.expect_optimal().is_err());
 
-        let u = Outcome::Unbounded { stats: SolveStats::default() };
+        let u = Outcome::Unbounded {
+            stats: SolveStats::default(),
+        };
         assert_eq!(u.status(), Status::Unbounded);
         assert!(u.is_feasible(), "an unbounded problem has feasible points");
     }
@@ -233,7 +258,9 @@ mod tests {
         assert_eq!(Status::Optimal.to_string(), "optimal");
         assert_eq!(Status::Infeasible.to_string(), "infeasible");
         assert_eq!(Status::Unbounded.to_string(), "unbounded");
-        let o = Outcome::Infeasible { stats: SolveStats::default() };
+        let o = Outcome::Infeasible {
+            stats: SolveStats::default(),
+        };
         assert!(o.to_string().contains("infeasible"));
     }
 }

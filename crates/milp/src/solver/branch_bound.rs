@@ -55,6 +55,13 @@ impl Ord for HeapEntry {
 
 pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, SolveError> {
     let start = Instant::now();
+    // One absolute deadline for the whole solve: the shared budget's expiry
+    // tightened by the per-solve relative limit. Every LP below inherits it,
+    // so a long branch-and-bound cannot restart the clock per relaxation.
+    let deadline = opts
+        .budget
+        .deadline()
+        .tightened_by_secs(opts.time_limit_secs);
     let mut stats = SolveStats::default();
 
     // Presolve: detect trivial infeasibility and tighten bounds.
@@ -77,7 +84,10 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     for (v, c) in model.objective().iter() {
         branch_weight[v.index()] = c.abs();
     }
-    let wmax = branch_weight.iter().fold(0.0_f64, |a, &b| a.max(b)).max(1.0);
+    let wmax = branch_weight
+        .iter()
+        .fold(0.0_f64, |a, &b| a.max(b))
+        .max(1.0);
     for w in &mut branch_weight {
         *w = 1.0 + *w / wmax;
     }
@@ -111,12 +121,14 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
 
     while let Some(HeapEntry(node)) = heap.pop() {
         if stats.nodes >= opts.max_nodes {
-            return Err(SolveError::NodeLimit { limit: opts.max_nodes });
+            return Err(SolveError::NodeLimit {
+                limit: opts.max_nodes,
+            });
         }
-        if let Some(limit) = opts.time_limit_secs {
-            if start.elapsed().as_secs_f64() > limit {
-                return Err(SolveError::TimeLimit { limit_secs: limit });
-            }
+        // `to_error` reports the nominal seconds of whichever limit was
+        // tighter (the budget's or this solve's relative one).
+        if deadline.expired() {
+            return Err(deadline.to_error());
         }
         // Bound-based pruning against the incumbent.
         if let Some((_, inc, _)) = &incumbent {
@@ -125,15 +137,16 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
             }
         }
         stats.nodes += 1;
+        opts.budget.charge_nodes(1)?;
 
         let sf = sf_root.rebind(&node.lbs, &node.ubs);
-        let mut simplex = Simplex::new(&sf, opts);
+        let mut simplex = Simplex::new(&sf, opts).with_deadline(deadline);
         let lp_result = match node.warm.as_deref() {
             Some(snap) if opts.warm_start => match simplex.solve_warm(snap) {
                 Ok(Some(outcome)) => Ok(outcome),
                 Ok(None) => {
                     // Unusable snapshot: cold start on a fresh state.
-                    simplex = Simplex::new(&sf, opts);
+                    simplex = Simplex::new(&sf, opts).with_deadline(deadline);
                     simplex.solve()
                 }
                 Err(e) => Err(e),
@@ -141,6 +154,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
             _ => simplex.solve(),
         };
         stats.simplex_iterations += simplex.pivots;
+        opts.budget.charge_pivots(simplex.take_uncharged_pivots())?;
         let lp = lp_result?;
         let node_snapshot = match &lp {
             LpOutcome::Optimal { .. } => simplex.snapshot().map(Arc::new),
@@ -194,11 +208,15 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                     }
                 } else {
                     let sf_fix = sf_root.rebind(&lbs_fix, &ubs_fix);
-                    let mut sx = Simplex::new(&sf_fix, opts);
+                    let mut sx = Simplex::new(&sf_fix, opts).with_deadline(deadline);
                     let fixed = sx.solve();
                     stats.simplex_iterations += sx.pivots;
+                    opts.budget.charge_pivots(sx.take_uncharged_pivots())?;
                     match fixed? {
-                        LpOutcome::Optimal { values: fvals, min_obj: fobj } => {
+                        LpOutcome::Optimal {
+                            values: fvals,
+                            min_obj: fobj,
+                        } => {
                             if incumbent
                                 .as_ref()
                                 .is_none_or(|(_, inc, _)| fobj < *inc - opts.abs_gap)
@@ -207,8 +225,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                                 for &vi in &int_vars {
                                     vals[vi] = vals[vi].round();
                                 }
-                                incumbent =
-                                    Some((vals, fobj, sf_fix.model_objective(fobj)));
+                                incumbent = Some((vals, fobj, sf_fix.model_objective(fobj)));
                                 if reached_floor(&incumbent) {
                                     break;
                                 }
@@ -216,20 +233,32 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                             // The relaxation bound may still admit better
                             // integer points nearby; branch on the most
                             // nearly-fractional variable to keep exploring.
-                            if let Some((vi, x)) = most_fractional(&values, &int_vars, 0.0, &branch_weight)
+                            if let Some((vi, x)) =
+                                most_fractional(&values, &int_vars, 0.0, &branch_weight)
                             {
                                 push_children(
-                                    &mut heap, &node, vi, x, min_obj, opts,
+                                    &mut heap,
+                                    &node,
+                                    vi,
+                                    x,
+                                    min_obj,
+                                    opts,
                                     &node_snapshot,
                                 );
                             }
                         }
                         LpOutcome::Infeasible => {
                             // Phantom integral point: branch to split it.
-                            if let Some((vi, x)) = most_fractional(&values, &int_vars, 0.0, &branch_weight)
+                            if let Some((vi, x)) =
+                                most_fractional(&values, &int_vars, 0.0, &branch_weight)
                             {
                                 push_children(
-                                    &mut heap, &node, vi, x, min_obj, opts,
+                                    &mut heap,
+                                    &node,
+                                    vi,
+                                    x,
+                                    min_obj,
+                                    opts,
                                     &node_snapshot,
                                 );
                             }
@@ -252,9 +281,10 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         return Ok(Outcome::Unbounded { stats });
     }
     match incumbent {
-        Some((values, _, objective)) => {
-            Ok(Outcome::Optimal { solution: Solution::new(values, objective), stats })
-        }
+        Some((values, _, objective)) => Ok(Outcome::Optimal {
+            solution: Solution::new(values, objective),
+            stats,
+        }),
         None => Ok(Outcome::Infeasible { stats }),
     }
 }
@@ -357,7 +387,8 @@ mod tests {
         let a = m.add_binary("a");
         let b = m.add_binary("b");
         let c = m.add_binary("c");
-        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0).unwrap();
+        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0)
+            .unwrap();
         m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b + 6.0 * c);
         let sol = solve_default(&m).expect_optimal().unwrap();
         assert!((sol.objective() - 9.0).abs() < 1e-6);
@@ -427,8 +458,16 @@ mod tests {
         let cap = 165.0;
         let mut m = Model::new("k10");
         let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
-        let w: LinExpr = vars.iter().zip(weights).map(|(&v, wi)| LinExpr::term(v, wi)).sum();
-        let val: LinExpr = vars.iter().zip(values).map(|(&v, vi)| LinExpr::term(v, vi)).sum();
+        let w: LinExpr = vars
+            .iter()
+            .zip(weights)
+            .map(|(&v, wi)| LinExpr::term(v, wi))
+            .sum();
+        let val: LinExpr = vars
+            .iter()
+            .zip(values)
+            .map(|(&v, vi)| LinExpr::term(v, vi))
+            .sum();
         m.add_constr("cap", w, Cmp::Le, cap).unwrap();
         m.set_objective(Sense::Maximize, val);
         let sol = solve_default(&m).expect_optimal().unwrap();
@@ -447,7 +486,11 @@ mod tests {
                 best = best.max(tv);
             }
         }
-        assert!((sol.objective() - best).abs() < 1e-6, "got {} want {best}", sol.objective());
+        assert!(
+            (sol.objective() - best).abs() < 1e-6,
+            "got {} want {best}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -458,7 +501,10 @@ mod tests {
         let e: LinExpr = xs.iter().map(|&v| LinExpr::term(v, 7.3)).sum();
         m.add_constr("c", e.clone(), Cmp::Le, 40.0).unwrap();
         m.set_objective(Sense::Maximize, e);
-        let opts = SolveOptions { max_nodes: 1, ..SolveOptions::default() };
+        let opts = SolveOptions {
+            max_nodes: 1,
+            ..SolveOptions::default()
+        };
         // One node is not enough to finish branching here.
         match solve(&m, &opts) {
             Err(SolveError::NodeLimit { limit: 1 }) => {}
@@ -491,9 +537,13 @@ mod tests {
         let a = m.add_binary("a");
         let b = m.add_binary("b");
         let c = m.add_binary("c");
-        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0).unwrap();
+        m.add_constr("cap", 3.0 * a + 4.0 * b + 5.0 * c, Cmp::Le, 7.0)
+            .unwrap();
         m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b + 6.0 * c);
-        let opts = SolveOptions { objective_floor: Some(9.0), ..SolveOptions::default() };
+        let opts = SolveOptions {
+            objective_floor: Some(9.0),
+            ..SolveOptions::default()
+        };
         let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
         assert!((sol.objective() - 9.0).abs() < 1e-6);
     }
@@ -506,11 +556,19 @@ mod tests {
         let mut m = Model::new("k");
         let a = m.add_binary("a");
         let b = m.add_binary("b");
-        m.add_constr("cap", 3.0 * a + 4.0 * b, Cmp::Le, 5.0).unwrap();
+        m.add_constr("cap", 3.0 * a + 4.0 * b, Cmp::Le, 5.0)
+            .unwrap();
         m.set_objective(Sense::Maximize, 4.0 * a + 5.0 * b);
-        let opts = SolveOptions { objective_floor: Some(100.0), ..SolveOptions::default() };
+        let opts = SolveOptions {
+            objective_floor: Some(100.0),
+            ..SolveOptions::default()
+        };
         let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
-        assert!((sol.objective() - 5.0).abs() < 1e-6, "got {}", sol.objective());
+        assert!(
+            (sol.objective() - 5.0).abs() < 1e-6,
+            "got {}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -534,14 +592,26 @@ mod tests {
             m.add_constr("cap", w, Cmp::Le, 60.0).unwrap();
             m.set_objective(Sense::Maximize, val);
 
-            let cold = solve(&m, &SolveOptions { warm_start: false, ..SolveOptions::default() })
-                .unwrap()
-                .expect_optimal()
-                .unwrap();
-            let warm = solve(&m, &SolveOptions { warm_start: true, ..SolveOptions::default() })
-                .unwrap()
-                .expect_optimal()
-                .unwrap();
+            let cold = solve(
+                &m,
+                &SolveOptions {
+                    warm_start: false,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
+            let warm = solve(
+                &m,
+                &SolveOptions {
+                    warm_start: true,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
             assert!(
                 (cold.objective() - warm.objective()).abs() < 1e-6,
                 "seed {seed}: cold {} vs warm {}",

@@ -1,0 +1,122 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Compiled only with the `fault-injection` cargo feature. A [`FaultPlan`]
+//! schedules synthetic failures at exact solver-call indices: the Nth call to
+//! [`Solver::solve`] observing the plan fails with the scheduled error before
+//! any real work happens. The call counter lives behind an `Arc`, so the
+//! clones of a `SolveOptions` threaded through an exploration all count
+//! against the same sequence — "fail the 7th MILP solve of this exploration"
+//! is expressible and exactly reproducible.
+//!
+//! Injected faults exercise the same recovery paths as organic ones: a
+//! scheduled [`FaultKind::Numerical`] is absorbed by the solver's retry
+//! ladder, and a scheduled [`FaultKind::DeadlineExpired`] drives the
+//! explorer's graceful-degradation path.
+//!
+//! [`Solver::solve`]: crate::Solver::solve
+
+use crate::error::SolveError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kind of failure to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A numerical breakdown ([`SolveError::Numerical`]); recoverable via the
+    /// retry ladder.
+    Numerical,
+    /// A spurious wall-clock expiry ([`SolveError::TimeLimit`]).
+    DeadlineExpired,
+    /// A spurious pivot-limit hit ([`SolveError::IterationLimit`]).
+    PivotLimit,
+}
+
+/// A deterministic schedule of synthetic solver failures.
+///
+/// Call indices are 1-based: `inject_at(1, …)` fails the first solve that
+/// observes the plan. Clones share the call counter.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    calls: Arc<AtomicU64>,
+    faults: Arc<Vec<(u64, FaultKind)>>,
+}
+
+impl PartialEq for FaultPlan {
+    /// Schedule equality; the live call counter is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.faults == other.faults
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a fault at the `nth_call`-th solver call (1-based).
+    #[must_use]
+    pub fn inject_at(self, nth_call: u64, kind: FaultKind) -> Self {
+        let mut faults: Vec<_> = self.faults.as_ref().clone();
+        faults.push((nth_call, kind));
+        FaultPlan {
+            calls: self.calls,
+            faults: Arc::new(faults),
+        }
+    }
+
+    /// Record one solver call and return the fault scheduled for it, if any.
+    pub fn on_solve_call(&self) -> Option<FaultKind> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        self.faults
+            .iter()
+            .find(|&&(n, _)| n == call)
+            .map(|&(_, k)| k)
+    }
+
+    /// How many solver calls the plan has observed.
+    #[must_use]
+    pub fn calls_observed(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The error a scheduled fault manifests as.
+    #[must_use]
+    pub fn to_error(kind: FaultKind, limit: u64) -> SolveError {
+        match kind {
+            FaultKind::Numerical => {
+                SolveError::Numerical("injected fault: synthetic numerical breakdown".into())
+            }
+            FaultKind::DeadlineExpired => SolveError::TimeLimit { limit_secs: 0.0 },
+            FaultKind::PivotLimit => SolveError::IterationLimit { limit },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_at_scheduled_calls() {
+        let plan = FaultPlan::new()
+            .inject_at(2, FaultKind::Numerical)
+            .inject_at(4, FaultKind::PivotLimit);
+        assert_eq!(plan.on_solve_call(), None);
+        assert_eq!(plan.on_solve_call(), Some(FaultKind::Numerical));
+        assert_eq!(plan.on_solve_call(), None);
+        assert_eq!(plan.on_solve_call(), Some(FaultKind::PivotLimit));
+        assert_eq!(plan.on_solve_call(), None);
+        assert_eq!(plan.calls_observed(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let plan = FaultPlan::new().inject_at(3, FaultKind::DeadlineExpired);
+        let clone = plan.clone();
+        assert_eq!(plan.on_solve_call(), None);
+        assert_eq!(clone.on_solve_call(), None);
+        assert_eq!(plan.on_solve_call(), Some(FaultKind::DeadlineExpired));
+    }
+}

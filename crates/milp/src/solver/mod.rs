@@ -2,6 +2,9 @@
 //! internal simplex and branch-and-bound implementations.
 
 mod branch_bound;
+pub mod budget;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 mod simplex;
 
 pub(crate) use simplex::{BasisSnapshot, LpOutcome, Simplex};
@@ -9,6 +12,7 @@ pub(crate) use simplex::{BasisSnapshot, LpOutcome, Simplex};
 use crate::error::SolveError;
 use crate::model::Model;
 use crate::solution::Outcome;
+use budget::Budget;
 use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the solver.
@@ -29,8 +33,19 @@ pub struct SolveOptions {
     pub max_simplex_iters: u64,
     /// Maximum branch-and-bound nodes.
     pub max_nodes: u64,
-    /// Optional wall-clock limit in seconds for a whole solve.
+    /// Optional wall-clock limit in seconds for a whole solve. Composes with
+    /// [`SolveOptions::budget`]: the solve stops at whichever deadline comes
+    /// first.
     pub time_limit_secs: Option<f64>,
+    /// Shared work budget: an absolute deadline plus cumulative node/pivot
+    /// allowances. Unlike `time_limit_secs`, cloning the options does **not**
+    /// restart this budget — every solve of an exploration charges the same
+    /// counters and races the same expiry instant. Unlimited by default.
+    pub budget: Budget,
+    /// Always price with Bland's rule instead of Dantzig pricing. Slower but
+    /// cycle-proof; the retry ladder switches this on after a numerical
+    /// failure.
+    pub force_bland: bool,
     /// Whether to run the presolve pass before solving.
     pub presolve: bool,
     /// Warm-start branch-and-bound children from the parent's optimal basis
@@ -49,6 +64,10 @@ pub struct SolveOptions {
     /// exploration sets this to the previous iteration's optimum, which is
     /// valid because certificate cuts only ever remove solutions.
     pub objective_floor: Option<f64>,
+    /// Deterministic fault schedule for resilience testing; `None` disables
+    /// injection. Only present with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<faults::FaultPlan>,
 }
 
 impl Default for SolveOptions {
@@ -61,9 +80,13 @@ impl Default for SolveOptions {
             max_simplex_iters: 500_000,
             max_nodes: 2_000_000,
             time_limit_secs: None,
+            budget: Budget::unlimited(),
+            force_bland: false,
             presolve: true,
             warm_start: false,
             objective_floor: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -73,6 +96,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_time_limit(mut self, secs: f64) -> Self {
         self.time_limit_secs = Some(secs);
+        self
+    }
+
+    /// Options charging work to (and racing the deadline of) `budget`.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -115,11 +145,62 @@ impl Solver {
 
     /// Solve a model to proven optimality (or infeasibility/unboundedness).
     ///
+    /// [`SolveError::Numerical`] failures are absorbed by a three-stage retry
+    /// ladder, each stage re-solving with progressively more conservative
+    /// settings: Bland's rule pricing (cycle-proof), then tightened
+    /// feasibility/optimality tolerances, then presolve disabled. The number
+    /// of stages consumed is reported in
+    /// [`SolveStats::numerical_retries`](crate::SolveStats::numerical_retries).
+    ///
     /// # Errors
     ///
-    /// Returns a [`SolveError`] when the model is malformed or an iteration,
-    /// node, or time limit is exhausted before the outcome is proven.
+    /// Returns a [`SolveError`] when the model is malformed, an iteration,
+    /// node, or time limit is exhausted before the outcome is proven, or a
+    /// numerical failure survives every rung of the retry ladder.
     pub fn solve(&self, model: &Model) -> Result<Outcome, SolveError> {
-        branch_bound::solve(model, &self.options)
+        let mut opts = self.options.clone();
+        let mut retries = 0u64;
+        loop {
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &opts.fault_plan {
+                if let Some(kind) = plan.on_solve_call() {
+                    let err = faults::FaultPlan::to_error(kind, opts.max_simplex_iters);
+                    if let SolveError::Numerical(msg) = err {
+                        match Self::escalate(&mut opts, &mut retries) {
+                            true => continue,
+                            false => return Err(SolveError::Numerical(msg)),
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+            match branch_bound::solve(model, &opts) {
+                Err(SolveError::Numerical(msg)) => {
+                    if !Self::escalate(&mut opts, &mut retries) {
+                        return Err(SolveError::Numerical(msg));
+                    }
+                }
+                Ok(mut outcome) => {
+                    outcome.stats_mut().numerical_retries = retries;
+                    return Ok(outcome);
+                }
+                err => return err,
+            }
+        }
+    }
+
+    /// Advance the retry ladder one rung; `false` when it is exhausted.
+    fn escalate(opts: &mut SolveOptions, retries: &mut u64) -> bool {
+        *retries += 1;
+        match *retries {
+            1 => opts.force_bland = true,
+            2 => {
+                opts.feas_tol *= 0.1;
+                opts.dual_tol *= 0.1;
+            }
+            3 => opts.presolve = false,
+            _ => return false,
+        }
+        true
     }
 }

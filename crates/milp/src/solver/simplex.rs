@@ -8,9 +8,9 @@
 //! by falling back to Bland's rule after a run of non-improving pivots.
 
 use crate::error::SolveError;
+use crate::solver::budget::Deadline;
 use crate::solver::SolveOptions;
 use crate::standard_form::StandardForm;
-use std::time::Instant;
 
 /// Where a column currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,10 @@ pub(crate) enum LpOutcome {
     /// Optimal basic solution: structural variable values and the *internal
     /// minimization* objective value (callers map it back through
     /// [`StandardForm::model_objective`]).
-    Optimal { values: Vec<f64>, min_obj: f64 },
+    Optimal {
+        values: Vec<f64>,
+        min_obj: f64,
+    },
     Infeasible,
     Unbounded,
 }
@@ -68,9 +71,14 @@ pub(crate) struct Simplex<'a> {
     art_fixed: bool,
     pub pivots: u64,
     degenerate_run: u32,
-    /// Construction time, for honoring `SolveOptions::time_limit_secs` even
-    /// inside a single long LP.
-    started: Instant,
+    /// Absolute expiry honored even inside a single long LP. Defaults to the
+    /// options' budget deadline tightened by `time_limit_secs`; callers that
+    /// run many LPs against one allowance (branch-and-bound) override it via
+    /// [`Simplex::with_deadline`] so the clock does not restart per LP.
+    deadline: Deadline,
+    /// Pivots already charged to the shared budget (see
+    /// [`Simplex::check_budget`]).
+    charged: u64,
 }
 
 const PIVOT_TOL: f64 = 1e-9;
@@ -95,18 +103,46 @@ impl<'a> Simplex<'a> {
             art_fixed: false,
             pivots: 0,
             degenerate_run: 0,
-            started: Instant::now(),
+            deadline: opts
+                .budget
+                .deadline()
+                .tightened_by_secs(opts.time_limit_secs),
+            charged: 0,
         }
     }
 
-    /// Abort with [`SolveError::TimeLimit`] when this LP alone has consumed
-    /// the whole solve budget (the branch-and-bound loop checks between
-    /// nodes; this catches pathological single relaxations).
-    fn check_deadline(&self) -> Result<(), SolveError> {
-        if let Some(limit) = self.opts.time_limit_secs {
-            if self.started.elapsed().as_secs_f64() > limit {
-                return Err(SolveError::TimeLimit { limit_secs: limit });
-            }
+    /// Replace the expiry instant (used by branch-and-bound to share one
+    /// deadline across every LP of a solve).
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Pivots performed but not yet charged to the shared budget; calling
+    /// this settles them. Branch-and-bound drains the remainder after each
+    /// LP so the budget is exact at LP boundaries.
+    pub fn take_uncharged_pivots(&mut self) -> u64 {
+        let n = self.pivots - self.charged;
+        self.charged = self.pivots;
+        n
+    }
+
+    /// Periodic mid-LP checkpoint: charge accrued pivots to the shared
+    /// budget, abort on deadline expiry, and abort with
+    /// [`SolveError::Numerical`] if the basic values have gone non-finite
+    /// (the branch-and-bound loop checks between nodes; this catches
+    /// pathological single relaxations).
+    fn check_budget(&mut self) -> Result<(), SolveError> {
+        let newly = self.pivots - self.charged;
+        self.charged = self.pivots;
+        self.opts.budget.charge_pivots(newly)?;
+        if self.deadline.expired() {
+            return Err(self.deadline.to_error());
+        }
+        if self.xb.iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::Numerical(
+                "basic solution went non-finite during pivoting".into(),
+            ));
         }
         Ok(())
     }
@@ -127,6 +163,11 @@ impl<'a> Simplex<'a> {
             self.set_phase1_costs();
             self.iterate()?;
             let infeas: f64 = self.phase1_objective();
+            if !infeas.is_finite() {
+                return Err(SolveError::Numerical(
+                    "phase-1 infeasibility measure is non-finite".into(),
+                ));
+            }
             // Feasible LPs reach a phase-1 optimum of ~0 (1e-12-ish); scale
             // the acceptance threshold sublinearly in the rhs magnitude so
             // big-M rows cannot mask real (ε-sized) infeasibility.
@@ -140,7 +181,15 @@ impl<'a> Simplex<'a> {
             IterEnd::Optimal => {}
             IterEnd::Unbounded => return Ok(LpOutcome::Unbounded),
         }
-        Ok(self.finish_optimal())
+        let out = self.finish_optimal();
+        if let LpOutcome::Optimal { min_obj, .. } = &out {
+            if !min_obj.is_finite() {
+                return Err(SolveError::Numerical(
+                    "optimal objective evaluated to a non-finite value".into(),
+                ));
+            }
+        }
+        Ok(out)
     }
 
     fn finish_optimal(&self) -> LpOutcome {
@@ -317,7 +366,9 @@ impl<'a> Simplex<'a> {
         let mut used = 0u64;
         loop {
             if self.pivots >= self.opts.max_simplex_iters {
-                return Err(SolveError::IterationLimit { limit: self.opts.max_simplex_iters });
+                return Err(SolveError::IterationLimit {
+                    limit: self.opts.max_simplex_iters,
+                });
             }
             if used >= budget {
                 return Ok(DualEnd::LostDualFeasibility);
@@ -389,10 +440,7 @@ impl<'a> Simplex<'a> {
                 } else if let Some((bj, br)) = best {
                     // Tie-break toward larger |alpha| for stability.
                     if (ratio - br).abs() <= 1e-12 {
-                        let balpha: f64 = self.sf.cols[bj]
-                            .iter()
-                            .map(|(i, a)| rho[i] * a)
-                            .sum();
+                        let balpha: f64 = self.sf.cols[bj].iter().map(|(i, a)| rho[i] * a).sum();
                         if alpha.abs() > balpha.abs() {
                             best = Some((j, ratio));
                         }
@@ -413,7 +461,11 @@ impl<'a> Simplex<'a> {
             if w[row].abs() <= PIVOT_TOL {
                 return Ok(DualEnd::LostDualFeasibility);
             }
-            let hit = if below { BoundHit::Lower } else { BoundHit::Upper };
+            let hit = if below {
+                BoundHit::Lower
+            } else {
+                BoundHit::Upper
+            };
             // Entering value chosen so the leaving variable lands exactly on
             // its violated bound: solve xb_row - t·w_row = bound.
             let leaving_col = self.basis[row];
@@ -424,16 +476,16 @@ impl<'a> Simplex<'a> {
             };
             let t = (self.xb[row] - bound) / w[row];
             let enter_val = self.nonbasic_value(enter) + t;
-            for r in 0..self.m {
+            for (r, &wr) in w.iter().enumerate() {
                 if r != row {
-                    self.xb[r] -= t * w[r];
+                    self.xb[r] -= t * wr;
                 }
             }
             self.pivot(enter, row, &w, t, enter_val, hit);
             self.pivots += 1;
             if self.pivots % 64 == 63 {
                 self.refresh_xb();
-                self.check_deadline()?;
+                self.check_budget()?;
             }
         }
     }
@@ -501,20 +553,23 @@ impl<'a> Simplex<'a> {
         }
         // Choose a basic column per row: the slack if it can hold the
         // residual, otherwise a fresh artificial.
-        for r in 0..self.m {
+        for (r, &res) in residual.iter().enumerate() {
             let slack = n + r;
             let (slb, sub) = (self.sf.lower[slack], self.sf.upper[slack]);
-            if residual[r] >= slb && residual[r] <= sub {
+            if res >= slb && res <= sub {
                 self.state[slack] = ColState::Basic(r as u32);
                 self.basis[r] = slack;
-                self.xb[r] = residual[r];
+                self.xb[r] = res;
                 self.binv[r * self.m + r] = 1.0;
             } else {
                 // Slack rests at the bound nearest the residual.
-                let clamped = residual[r].clamp(slb, sub);
-                self.state[slack] =
-                    if clamped == slb { ColState::AtLower } else { ColState::AtUpper };
-                let rem = residual[r] - clamped;
+                let clamped = res.clamp(slb, sub);
+                self.state[slack] = if clamped == slb {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
+                let rem = res - clamped;
                 let sign = if rem >= 0.0 { 1.0 } else { -1.0 };
                 let art_col = self.art_base + self.artificials.len();
                 self.artificials.push((r, sign));
@@ -637,13 +692,13 @@ impl<'a> Simplex<'a> {
         let mut w = vec![0.0; self.m];
         if j >= self.art_base {
             let (ar, sign) = self.artificials[j - self.art_base];
-            for r in 0..self.m {
-                w[r] = self.binv[r * self.m + ar] * sign;
+            for (r, wr) in w.iter_mut().enumerate() {
+                *wr = self.binv[r * self.m + ar] * sign;
             }
         } else {
             for (i, a) in self.sf.cols[j].iter() {
-                for r in 0..self.m {
-                    w[r] += self.binv[r * self.m + i] * a;
+                for (r, wr) in w.iter_mut().enumerate() {
+                    *wr += self.binv[r * self.m + i] * a;
                 }
             }
         }
@@ -681,11 +736,13 @@ impl<'a> Simplex<'a> {
     fn iterate(&mut self) -> Result<IterEnd, SolveError> {
         loop {
             if self.pivots >= self.opts.max_simplex_iters {
-                return Err(SolveError::IterationLimit { limit: self.opts.max_simplex_iters });
+                return Err(SolveError::IterationLimit {
+                    limit: self.opts.max_simplex_iters,
+                });
             }
             if self.pivots % 256 == 255 {
                 self.refresh_xb();
-                self.check_deadline()?;
+                self.check_budget()?;
             }
             // Fresh reduced costs each pivot. The incremental
             // `update_reduced_costs` alternative measured *slower* here:
@@ -693,7 +750,7 @@ impl<'a> Simplex<'a> {
             // full recompute is effectively sparse already, and fresh costs
             // also keep Dantzig pricing on the true steepest coefficient.
             self.recompute_reduced_costs();
-            let bland = self.degenerate_run >= BLAND_TRIGGER;
+            let bland = self.opts.force_bland || self.degenerate_run >= BLAND_TRIGGER;
             let Some((j, dj, dir)) = self.price_cached(bland) else {
                 return Ok(IterEnd::Optimal);
             };
@@ -709,9 +766,9 @@ impl<'a> Simplex<'a> {
                 RatioResult::Pivot { row, t, hit } => {
                     let enter_val = self.nonbasic_value(j) + dir * t;
                     // Update the other basic values before rewriting binv.
-                    for r in 0..self.m {
+                    for (r, &wr) in w.iter().enumerate() {
                         if r != row {
-                            self.xb[r] -= dir * t * w[r];
+                            self.xb[r] -= dir * t * wr;
                         }
                     }
                     self.pivot(j, row, &w, t, enter_val, hit);
@@ -770,7 +827,11 @@ impl<'a> Simplex<'a> {
     fn ratio_test(&self, j: usize, dir: f64, w: &[f64], bland: bool) -> RatioResult {
         // Entering variable's own range (bound flip distance).
         let own_range = self.col_upper(j) - self.col_lower(j);
-        let mut t_min = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut t_min = if own_range.is_finite() {
+            own_range
+        } else {
+            f64::INFINITY
+        };
         let mut choice: Option<(usize, f64, BoundHit)> = None;
 
         for r in 0..self.m {
@@ -840,8 +901,8 @@ impl<'a> Simplex<'a> {
     }
 
     fn apply_bound_flip(&mut self, j: usize, dir: f64, t: f64, w: &[f64]) {
-        for r in 0..self.m {
-            self.xb[r] -= dir * t * w[r];
+        for (xb, &wr) in self.xb.iter_mut().zip(w) {
+            *xb -= dir * t * wr;
         }
         self.state[j] = match self.state[j] {
             ColState::AtLower => ColState::AtUpper,
@@ -957,7 +1018,9 @@ mod tests {
     fn lp(model: &Model) -> LpOutcome {
         let sf = StandardForm::build(model, None);
         let opts = SolveOptions::default();
-        Simplex::new(&sf, &opts).solve().expect("no iteration limit expected")
+        Simplex::new(&sf, &opts)
+            .solve()
+            .expect("no iteration limit expected")
     }
 
     fn optimal_obj(model: &Model) -> f64 {
@@ -1064,7 +1127,8 @@ mod tests {
         let x = m.add_continuous("x", 0.0, f64::INFINITY);
         let y = m.add_continuous("y", 0.0, f64::INFINITY);
         for k in 1..=6 {
-            m.add_constr(format!("c{k}"), (k as f64) * x + y, Cmp::Le, 0.0).unwrap();
+            m.add_constr(format!("c{k}"), (k as f64) * x + y, Cmp::Le, 0.0)
+                .unwrap();
         }
         m.set_objective(Sense::Maximize, x + y);
         assert!((optimal_obj(&m) - 0.0).abs() < 1e-9);
@@ -1076,7 +1140,8 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.add_continuous("x", 0.0, 3.0);
         let y = m.add_continuous("y", 0.0, 3.0);
-        m.add_constr("c", -1.0 * x - 1.0 * y, Cmp::Ge, -4.0).unwrap();
+        m.add_constr("c", -1.0 * x - 1.0 * y, Cmp::Ge, -4.0)
+            .unwrap();
         m.set_objective(Sense::Minimize, -1.0 * x - 1.0 * y);
         assert!((optimal_obj(&m) - (-4.0)).abs() < 1e-6);
     }

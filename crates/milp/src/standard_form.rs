@@ -118,7 +118,10 @@ impl SparseCol {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.rows.iter().zip(&self.vals).map(|(&r, &v)| (r as usize, v))
+        self.rows
+            .iter()
+            .zip(&self.vals)
+            .map(|(&r, &v)| (r as usize, v))
     }
 }
 
@@ -206,8 +209,7 @@ impl StandardForm {
             obj[v.index()] = obj_sign * coef;
         }
 
-        let col_scale =
-            equilibrate(m, &mut cols, &mut lower, &mut upper, &mut rhs, &mut obj);
+        let col_scale = equilibrate(m, &mut cols, &mut lower, &mut upper, &mut rhs, &mut obj);
         StandardForm {
             num_structural: n,
             num_rows: m,

@@ -89,13 +89,24 @@ impl VarDef {
     /// programming error at model-construction time.
     #[must_use]
     pub fn new(name: impl Into<String>, ty: VarType, lb: f64, ub: f64) -> Self {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
-        assert!(lb <= ub, "variable lower bound {lb} exceeds upper bound {ub}");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
+        assert!(
+            lb <= ub,
+            "variable lower bound {lb} exceeds upper bound {ub}"
+        );
         let (lb, ub) = match ty {
             VarType::Binary => (lb.max(0.0), ub.min(1.0)),
             _ => (lb, ub),
         };
-        VarDef { name: name.into(), ty, lb, ub }
+        VarDef {
+            name: name.into(),
+            ty,
+            lb,
+            ub,
+        }
     }
 
     /// Whether the bounds pin the variable to a single value.

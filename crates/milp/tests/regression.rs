@@ -10,22 +10,28 @@ fn klee_minty_style_cube_terminates() {
     // terminate and find the known optimum.
     let n = 7;
     let mut m = Model::new("km");
-    let xs: Vec<_> =
-        (0..n).map(|i| m.add_continuous(format!("x{i}"), 0.0, f64::INFINITY)).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(format!("x{i}"), 0.0, f64::INFINITY))
+        .collect();
     for i in 0..n {
         let mut e = LinExpr::new();
         for (j, &xj) in xs.iter().enumerate().take(i) {
             e.add_term(xj, 2.0 * 10f64.powi((i - j) as i32));
         }
         e.add_term(xs[i], 1.0);
-        m.add_constr(format!("c{i}"), e, Cmp::Le, 100f64.powi(i as i32 + 1)).unwrap();
+        m.add_constr(format!("c{i}"), e, Cmp::Le, 100f64.powi(i as i32 + 1))
+            .unwrap();
     }
     let mut obj = LinExpr::new();
     for (j, &xj) in xs.iter().enumerate() {
         obj.add_term(xj, 10f64.powi((n - 1 - j) as i32));
     }
     m.set_objective(Sense::Maximize, obj);
-    let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+    let sol = m
+        .solve(&SolveOptions::default())
+        .unwrap()
+        .expect_optimal()
+        .unwrap();
     // Known optimum: 100^n.
     let expect = 100f64.powi(n as i32);
     assert!(
@@ -40,9 +46,11 @@ fn equality_chain_long() {
     // x0 = 1, x_{i+1} = x_i + 1 → x_99 = 100.
     let n = 100;
     let mut m = Model::new("chain");
-    let xs: Vec<_> =
-        (0..n).map(|i| m.add_continuous(format!("x{i}"), -1e6, 1e6)).collect();
-    m.add_constr("base", LinExpr::var(xs[0]), Cmp::Eq, 1.0).unwrap();
+    let xs: Vec<_> = (0..n)
+        .map(|i| m.add_continuous(format!("x{i}"), -1e6, 1e6))
+        .collect();
+    m.add_constr("base", LinExpr::var(xs[0]), Cmp::Eq, 1.0)
+        .unwrap();
     for i in 1..n {
         m.add_constr(
             format!("s{i}"),
@@ -53,7 +61,11 @@ fn equality_chain_long() {
         .unwrap();
     }
     m.set_objective(Sense::Minimize, LinExpr::var(xs[n - 1]));
-    let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+    let sol = m
+        .solve(&SolveOptions::default())
+        .unwrap()
+        .expect_optimal()
+        .unwrap();
     assert!((sol.value(xs[n - 1]) - n as f64).abs() < 1e-6);
 }
 
@@ -109,21 +121,28 @@ fn bigm_indicator_lattice() {
             let c: f64 = (0..slots).map(|s| cost_of(s, stack[s])).sum();
             best = Some(best.map_or(c, |b: f64| b.min(c)));
         }
-        for s in 0..slots {
-            stack[s] += 1;
-            if stack[s] < options {
+        for digit in stack.iter_mut() {
+            *digit += 1;
+            if *digit < options {
                 continue 'outer;
             }
-            stack[s] = 0;
+            *digit = 0;
         }
         break;
     }
     match (got.solution(), best) {
         (Some(sol), Some(b)) => {
-            assert!((sol.objective() - b).abs() < 1e-6, "got {}, want {b}", sol.objective())
+            assert!(
+                (sol.objective() - b).abs() < 1e-6,
+                "got {}, want {b}",
+                sol.objective()
+            )
         }
         (None, None) => {}
-        (g, b) => panic!("feasibility mismatch: {:?} vs {b:?}", g.map(|s| s.objective())),
+        (g, b) => panic!(
+            "feasibility mismatch: {:?} vs {b:?}",
+            g.map(|s| s.objective())
+        ),
     }
 }
 
@@ -134,10 +153,16 @@ fn all_constraint_types_mixed() {
     let y = m.add_integer("y", -10.0, 10.0);
     let z = m.add_binary("z");
     m.add_constr("eq", x + 2.0 * y, Cmp::Eq, 3.0).unwrap();
-    m.add_constr("ge", x - 1.0 * y + 10.0 * z, Cmp::Ge, 2.0).unwrap();
-    m.add_constr("le", x + 1.0 * y + 1.0 * z, Cmp::Le, 6.0).unwrap();
+    m.add_constr("ge", x - 1.0 * y + 10.0 * z, Cmp::Ge, 2.0)
+        .unwrap();
+    m.add_constr("le", x + 1.0 * y + 1.0 * z, Cmp::Le, 6.0)
+        .unwrap();
     m.set_objective(Sense::Minimize, 2.0 * x + 3.0 * y + 5.0 * z);
-    let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+    let sol = m
+        .solve(&SolveOptions::default())
+        .unwrap()
+        .expect_optimal()
+        .unwrap();
     assert!(m.is_feasible_point(sol.values(), 1e-6));
     // y integral.
     let yv = sol.value(y);
@@ -164,12 +189,16 @@ fn infeasible_after_cut_accumulation() {
                 e.add_term(b, -1.0);
             }
         }
-        m.add_constr(format!("cut{mask}"), e, Cmp::Le, f64::from(onbits) - 1.0).unwrap();
+        m.add_constr(format!("cut{mask}"), e, Cmp::Le, f64::from(onbits) - 1.0)
+            .unwrap();
         let out = m.solve(&SolveOptions::default()).unwrap();
         if mask < 7 {
             assert!(out.is_feasible(), "still {} patterns left", 7 - mask);
         } else {
-            assert!(matches!(out, Outcome::Infeasible { .. }), "all patterns excluded");
+            assert!(
+                matches!(out, Outcome::Infeasible { .. }),
+                "all patterns excluded"
+            );
         }
     }
 }
@@ -179,12 +208,12 @@ fn moderately_large_lp() {
     // A transportation-style LP: 20 supplies × 20 demands.
     let n = 20;
     let mut m = Model::new("transport");
-    let mut vars = vec![Vec::with_capacity(n); n];
+    let mut vars = vec![Vec::new(); n];
     let mut obj = LinExpr::new();
-    for i in 0..n {
+    for (i, row) in vars.iter_mut().enumerate() {
         for j in 0..n {
             let v = m.add_continuous(format!("t{i}_{j}"), 0.0, f64::INFINITY);
-            vars[i].push(v);
+            row.push(v);
             obj.add_term(v, 1.0 + ((i * 7 + j * 13) % 11) as f64);
         }
     }
@@ -198,11 +227,16 @@ fn moderately_large_lp() {
         .unwrap();
     }
     for j in 0..n {
-        let col = LinExpr::sum((0..n).map(|i| vars[i][j]));
-        m.add_constr(format!("demand{j}"), col, Cmp::Ge, 8.0).unwrap();
+        let col = LinExpr::sum(vars.iter().map(|row| row[j]));
+        m.add_constr(format!("demand{j}"), col, Cmp::Ge, 8.0)
+            .unwrap();
     }
     m.set_objective(Sense::Minimize, obj);
-    let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+    let sol = m
+        .solve(&SolveOptions::default())
+        .unwrap()
+        .expect_optimal()
+        .unwrap();
     assert!(m.is_feasible_point(sol.values(), 1e-5));
     // Each unit costs at least 1, total demand 160 → objective ≥ 160.
     assert!(sol.objective() >= 160.0 - 1e-6);
@@ -216,7 +250,11 @@ fn duplicate_variable_terms_merge() {
     let e = LinExpr::var(x) + LinExpr::var(x) + LinExpr::var(x);
     m.add_constr("c", e, Cmp::Le, 9.0).unwrap();
     m.set_objective(Sense::Maximize, LinExpr::var(x));
-    let sol = m.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+    let sol = m
+        .solve(&SolveOptions::default())
+        .unwrap()
+        .expect_optimal()
+        .unwrap();
     assert!((sol.value(x) - 3.0).abs() < 1e-6);
 }
 
@@ -227,8 +265,13 @@ fn time_limit_enforced() {
     let mut m = Model::new("hard");
     let xs: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
     // Σ odd-weighted xs == half-ish: forces heavy branching.
-    let e = LinExpr::weighted_sum(xs.iter().enumerate().map(|(i, &x)| (x, 2.0 * i as f64 + 1.0)));
-    m.add_constr("parity", e, Cmp::Eq, (n * n / 2) as f64 + 0.5).unwrap();
+    let e = LinExpr::weighted_sum(
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 2.0 * i as f64 + 1.0)),
+    );
+    m.add_constr("parity", e, Cmp::Eq, (n * n / 2) as f64 + 0.5)
+        .unwrap();
     m.set_objective(Sense::Minimize, LinExpr::sum(xs.iter().copied()));
     let opts = SolveOptions::default().with_time_limit(0.05);
     match m.solve(&opts) {

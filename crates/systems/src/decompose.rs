@@ -56,7 +56,9 @@ pub fn explore_decomposed(
         let stats = *line_a.stats();
         return Ok(DecomposedResult {
             line_a,
-            line_b: Exploration::Infeasible { stats: contrarc::ExplorationStats::default() },
+            line_b: Exploration::Infeasible {
+                stats: contrarc::ExplorationStats::default(),
+            },
             compatibility_ok: false,
             total_time: stats.total_time,
         });
@@ -73,7 +75,11 @@ pub fn explore_decomposed(
             let model = build_flow_model(&problem_b, arch);
             let checker = RefinementChecker::new();
             checker
-                .check(&model.vocabulary, &model.composition(), &model.system_contract)
+                .check(
+                    &model.vocabulary,
+                    &model.composition(),
+                    &model.system_contract,
+                )
                 .map(|r| r.holds())
                 .map_err(ExploreError::from)?
         }
@@ -122,7 +128,11 @@ mod tests {
     fn decomposed_reports_infeasible_line() {
         // A one-stage line keeps the infeasibility proof small: the explorer
         // must exhaust the implementation lattice in cost order.
-        let config = RplConfig { max_latency: 5.0, stages: 1, ..RplConfig::default() };
+        let config = RplConfig {
+            max_latency: 5.0,
+            stages: 1,
+            ..RplConfig::default()
+        };
         let dec = explore_decomposed(&config, &ExplorerConfig::complete()).unwrap();
         assert!(dec.total_cost().is_none());
         assert!(!dec.compatibility_ok);

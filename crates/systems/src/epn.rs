@@ -15,9 +15,7 @@
 //! latency bound `L_s`).
 
 use contrarc::attr::{Attrs, COST, FLOW_CONS, FLOW_GEN, JITTER_OUT, LATENCY, THROUGHPUT};
-use contrarc::{
-    FlowSpec, Library, Problem, SystemSpec, Template, TimingSpec, TypeConfig,
-};
+use contrarc::{FlowSpec, Library, Problem, SystemSpec, Template, TimingSpec, TypeConfig};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of an EPN instance.
@@ -37,7 +35,13 @@ pub struct EpnConfig {
 
 impl Default for EpnConfig {
     fn default() -> Self {
-        EpnConfig { left: 1, right: 0, apu: 0, load_demand: 10.0, max_latency: 16.0 }
+        EpnConfig {
+            left: 1,
+            right: 0,
+            apu: 0,
+            load_demand: 10.0,
+            max_latency: 16.0,
+        }
     }
 }
 
@@ -45,7 +49,12 @@ impl EpnConfig {
     /// A Table II configuration `(L, R, APU)`.
     #[must_use]
     pub fn table2(left: usize, right: usize, apu: usize) -> Self {
-        EpnConfig { left, right, apu, ..EpnConfig::default() }
+        EpnConfig {
+            left,
+            right,
+            apu,
+            ..EpnConfig::default()
+        }
     }
 
     /// The paper's Table II row label, e.g. `"2,1,0"`.
@@ -117,32 +126,65 @@ pub fn build(config: &EpnConfig) -> Problem {
     let mut t = Template::new(format!("epn[{}]", config.label()));
     let mut lib = Library::new();
 
-    let gen_t = t.add_type("gen", TypeConfig { source: true, max_out: 2, ..TypeConfig::source() });
-    let apu_t = t.add_type("apu", TypeConfig { source: true, max_out: 2, ..TypeConfig::source() });
+    let gen_t = t.add_type(
+        "gen",
+        TypeConfig {
+            source: true,
+            max_out: 2,
+            ..TypeConfig::source()
+        },
+    );
+    let apu_t = t.add_type(
+        "apu",
+        TypeConfig {
+            source: true,
+            max_out: 2,
+            ..TypeConfig::source()
+        },
+    );
     let acbus_t = t.add_type("acbus", TypeConfig::bounded(3, 4));
     let ru_t = t.add_type("ru", TypeConfig::bounded(2, 2));
     let dcbus_t = t.add_type("dcbus", TypeConfig::bounded(3, 4));
-    let load_t = t.add_type("load", TypeConfig { sink: true, max_in: 2, ..TypeConfig::sink() });
+    let load_t = t.add_type(
+        "load",
+        TypeConfig {
+            sink: true,
+            max_in: 2,
+            ..TypeConfig::sink()
+        },
+    );
 
     for (s, c, g, l) in GEN_MENU {
         lib.add(
             format!("GEN_{s}"),
             gen_t,
-            Attrs::new().with(COST, c).with(FLOW_GEN, g).with(LATENCY, l).with(JITTER_OUT, 0.2),
+            Attrs::new()
+                .with(COST, c)
+                .with(FLOW_GEN, g)
+                .with(LATENCY, l)
+                .with(JITTER_OUT, 0.2),
         );
     }
     for (s, c, g, l) in APU_MENU {
         lib.add(
             format!("APU_{s}"),
             apu_t,
-            Attrs::new().with(COST, c).with(FLOW_GEN, g).with(LATENCY, l).with(JITTER_OUT, 0.2),
+            Attrs::new()
+                .with(COST, c)
+                .with(FLOW_GEN, g)
+                .with(LATENCY, l)
+                .with(JITTER_OUT, 0.2),
         );
     }
     for (s, c, thr, l) in ACBUS_MENU {
         lib.add(
             format!("AC_{s}"),
             acbus_t,
-            Attrs::new().with(COST, c).with(THROUGHPUT, thr).with(LATENCY, l).with(JITTER_OUT, 0.2),
+            Attrs::new()
+                .with(COST, c)
+                .with(THROUGHPUT, thr)
+                .with(LATENCY, l)
+                .with(JITTER_OUT, 0.2),
         );
     }
     for (s, c, thr, l, loss) in RU_MENU {
@@ -161,7 +203,11 @@ pub fn build(config: &EpnConfig) -> Problem {
         lib.add(
             format!("DC_{s}"),
             dcbus_t,
-            Attrs::new().with(COST, c).with(THROUGHPUT, thr).with(LATENCY, l).with(JITTER_OUT, 0.2),
+            Attrs::new()
+                .with(COST, c)
+                .with(THROUGHPUT, thr)
+                .with(LATENCY, l)
+                .with(JITTER_OUT, 0.2),
         );
     }
     for (s, c, l) in LOAD_MENU {
@@ -185,12 +231,21 @@ pub fn build(config: &EpnConfig) -> Problem {
         if n == 0 {
             return Vec::new();
         }
-        let gens: Vec<_> = (0..n).map(|i| t.add_node(format!("{prefix}G{i}"), gen_t)).collect();
-        let acs: Vec<_> = (0..n).map(|i| t.add_node(format!("{prefix}B{i}"), acbus_t)).collect();
-        let rus: Vec<_> = (0..n).map(|i| t.add_node(format!("{prefix}R{i}"), ru_t)).collect();
-        let dcs: Vec<_> = (0..n).map(|i| t.add_node(format!("{prefix}D{i}"), dcbus_t)).collect();
-        let loads: Vec<_> =
-            (0..n).map(|i| t.add_required_node(format!("{prefix}L{i}"), load_t)).collect();
+        let gens: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("{prefix}G{i}"), gen_t))
+            .collect();
+        let acs: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("{prefix}B{i}"), acbus_t))
+            .collect();
+        let rus: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("{prefix}R{i}"), ru_t))
+            .collect();
+        let dcs: Vec<_> = (0..n)
+            .map(|i| t.add_node(format!("{prefix}D{i}"), dcbus_t))
+            .collect();
+        let loads: Vec<_> = (0..n)
+            .map(|i| t.add_required_node(format!("{prefix}L{i}"), load_t))
+            .collect();
         for layer in [(&gens, &acs), (&acs, &rus), (&rus, &dcs), (&dcs, &loads)] {
             for &a in layer.0 {
                 for &b in layer.1 {
@@ -237,9 +292,7 @@ mod tests {
 
     #[test]
     fn table2_configs_build() {
-        for (l, r, a) in
-            [(1, 0, 0), (2, 0, 0), (1, 1, 0), (1, 1, 1), (2, 1, 1)]
-        {
+        for (l, r, a) in [(1, 0, 0), (2, 0, 0), (1, 1, 0), (1, 1, 1), (2, 1, 1)] {
             let p = build(&EpnConfig::table2(l, r, a));
             assert!(p.validate().is_empty(), "({l},{r},{a}): {:?}", p.validate());
             let expected_nodes = 5 * (l + r) + a;
@@ -299,17 +352,26 @@ mod tests {
 
     #[test]
     fn two_sides_cost_more_than_one() {
-        let one = explore(&build(&EpnConfig::table2(1, 0, 0)), &ExplorerConfig::complete())
-            .unwrap()
-            .architecture()
-            .unwrap()
-            .cost();
-        let two = explore(&build(&EpnConfig::table2(1, 1, 0)), &ExplorerConfig::complete())
-            .unwrap()
-            .architecture()
-            .unwrap()
-            .cost();
-        assert!(two > one, "two sides ({two}) must cost more than one ({one})");
+        let one = explore(
+            &build(&EpnConfig::table2(1, 0, 0)),
+            &ExplorerConfig::complete(),
+        )
+        .unwrap()
+        .architecture()
+        .unwrap()
+        .cost();
+        let two = explore(
+            &build(&EpnConfig::table2(1, 1, 0)),
+            &ExplorerConfig::complete(),
+        )
+        .unwrap()
+        .architecture()
+        .unwrap()
+        .cost();
+        assert!(
+            two > one,
+            "two sides ({two}) must cost more than one ({one})"
+        );
     }
 
     #[test]

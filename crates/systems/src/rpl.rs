@@ -16,9 +16,7 @@
 //! slower and have less throughput (see EXPERIMENTS.md).
 
 use contrarc::attr::{Attrs, COST, FLOW_CONS, FLOW_GEN, JITTER_OUT, LATENCY, THROUGHPUT};
-use contrarc::{
-    FlowSpec, Library, Problem, SystemSpec, Template, TimingSpec, TypeConfig,
-};
+use contrarc::{FlowSpec, Library, Problem, SystemSpec, Template, TimingSpec, TypeConfig};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of an RPL instance.
@@ -38,7 +36,13 @@ pub struct RplConfig {
 
 impl Default for RplConfig {
     fn default() -> Self {
-        RplConfig { n_a: 1, n_b: 1, stages: 2, demand: 10.0, max_latency: 48.0 }
+        RplConfig {
+            n_a: 1,
+            n_b: 1,
+            stages: 2,
+            demand: 10.0,
+            max_latency: 48.0,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ impl RplConfig {
     /// The paper's `n_A = n_B = n` sweep point.
     #[must_use]
     pub fn symmetric(n: usize) -> Self {
-        RplConfig { n_a: n, n_b: n, ..RplConfig::default() }
+        RplConfig {
+            n_a: n,
+            n_b: n,
+            ..RplConfig::default()
+        }
     }
 }
 
@@ -70,10 +78,8 @@ const MACHINE_MENU: [(&str, f64, f64, f64); 3] = [
 ];
 
 /// Conveyor implementation menu: (name suffix, cost, latency, throughput).
-const CONVEYOR_MENU: [(&str, f64, f64, f64); 2] = [
-    ("belt", 1.0, 8.0, 14.0),
-    ("servo", 4.0, 3.0, 28.0),
-];
+const CONVEYOR_MENU: [(&str, f64, f64, f64); 2] =
+    [("belt", 1.0, 8.0, 14.0), ("servo", 4.0, 3.0, 28.0)];
 
 /// Build the RPL exploration problem.
 ///
@@ -240,7 +246,10 @@ mod tests {
 
     #[test]
     fn generous_budget_picks_cheapest() {
-        let cfg = RplConfig { max_latency: 100.0, ..RplConfig::default() };
+        let cfg = RplConfig {
+            max_latency: 100.0,
+            ..RplConfig::default()
+        };
         let p = build(&cfg, RplLines::LineA);
         let r = explore(&p, &ExplorerConfig::complete()).unwrap();
         let arch = r.architecture().expect("feasible");
@@ -266,7 +275,11 @@ mod tests {
         // One stage keeps the exhaustion proof small. Fastest chain:
         // 1 + 1.5 + 3 + 1.5 + 1 = 8 plus jitters — a budget of 5 is
         // impossible.
-        let cfg = RplConfig { max_latency: 5.0, stages: 1, ..RplConfig::default() };
+        let cfg = RplConfig {
+            max_latency: 5.0,
+            stages: 1,
+            ..RplConfig::default()
+        };
         let p = build(&cfg, RplLines::LineA);
         let r = explore(&p, &ExplorerConfig::complete()).unwrap();
         assert!(r.architecture().is_none());
@@ -274,7 +287,10 @@ mod tests {
 
     #[test]
     fn both_lines_cost_twice_single_line() {
-        let cfg = RplConfig { max_latency: 100.0, ..RplConfig::default() };
+        let cfg = RplConfig {
+            max_latency: 100.0,
+            ..RplConfig::default()
+        };
         let single = explore(&build(&cfg, RplLines::LineA), &ExplorerConfig::complete())
             .unwrap()
             .architecture()

@@ -32,32 +32,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     library.add(
         "cam-30fps",
         cam_t,
-        Attrs::new().with(COST, 2.0).with(FLOW_GEN, 30.0).with(LATENCY, 3.0),
+        Attrs::new()
+            .with(COST, 2.0)
+            .with(FLOW_GEN, 30.0)
+            .with(LATENCY, 3.0),
     );
     library.add(
         "mcu",
         proc_t,
-        Attrs::new().with(COST, 3.0).with(THROUGHPUT, 30.0).with(LATENCY, 25.0),
+        Attrs::new()
+            .with(COST, 3.0)
+            .with(THROUGHPUT, 30.0)
+            .with(LATENCY, 25.0),
     );
     library.add(
         "dsp",
         proc_t,
-        Attrs::new().with(COST, 8.0).with(THROUGHPUT, 60.0).with(LATENCY, 8.0),
+        Attrs::new()
+            .with(COST, 8.0)
+            .with(THROUGHPUT, 60.0)
+            .with(LATENCY, 8.0),
     );
     library.add(
         "fpga",
         proc_t,
-        Attrs::new().with(COST, 20.0).with(THROUGHPUT, 120.0).with(LATENCY, 2.0),
+        Attrs::new()
+            .with(COST, 20.0)
+            .with(THROUGHPUT, 120.0)
+            .with(LATENCY, 2.0),
     );
     library.add(
         "servo",
         act_t,
-        Attrs::new().with(COST, 4.0).with(FLOW_CONS, 24.0).with(LATENCY, 4.0),
+        Attrs::new()
+            .with(COST, 4.0)
+            .with(FLOW_CONS, 24.0)
+            .with(LATENCY, 4.0),
     );
 
     // 3. System-level contracts: 20 time-units budget, camera→actuator.
     let spec = SystemSpec {
-        flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+        flow: Some(FlowSpec {
+            max_supply: 100.0,
+            max_consumption: 100.0,
+        }),
         timing: Some(TimingSpec {
             max_latency: 20.0,
             max_input_jitter: 1.0,

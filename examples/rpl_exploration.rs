@@ -14,7 +14,9 @@ use contrarc_systems::decompose::{explore_decomposed, explore_monolithic};
 use contrarc_systems::rpl::{build, RplConfig, RplLines};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).map_or(1, |s| s.parse().expect("n must be a number"));
+    let n: usize = std::env::args()
+        .nth(1)
+        .map_or(1, |s| s.parse().expect("n must be a number"));
     let config = RplConfig::symmetric(n);
     println!("RPL with n_A = n_B = {n} (machines/conveyors per stage)\n");
 
@@ -54,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "monolithic (both lines)".to_string(),
         format!("{:.3}", mono.stats().total_time),
         mono.stats().iterations.to_string(),
-        mono.architecture().map_or("-".into(), |a| format!("{:.1}", a.cost())),
+        mono.architecture()
+            .map_or("-".into(), |a| format!("{:.1}", a.cost())),
     ]);
     rows.push(vec![
         "decomposed (Comb B)".to_string(),
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dec.total_cost().map_or("-".into(), |c| format!("{c:.1}")),
     ]);
 
-    println!("{}", render_table(&["method", "time (s)", "iterations", "cost"], &rows));
+    println!(
+        "{}",
+        render_table(&["method", "time (s)", "iterations", "cost"], &rows)
+    );
 
     if let Some(arch) = contrarc.architecture() {
         println!("\nselected architecture:\n{}", arch.describe(&problem));

@@ -9,15 +9,19 @@ use contrarc::synth::{generate, SynthConfig};
 use contrarc::{explore, ExplorerConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let count: usize =
-        std::env::args().nth(1).map_or(10, |s| s.parse().expect("count must be a number"));
+    let count: usize = std::env::args()
+        .nth(1)
+        .map_or(10, |s| s.parse().expect("count must be a number"));
     println!("exploring {count} random synthetic problems\n");
 
     let mut rows = Vec::new();
     let mut feasible = 0usize;
     let mut total_iters = 0usize;
     for seed in 0..count as u64 {
-        let problem = generate(&SynthConfig { seed, ..SynthConfig::default() });
+        let problem = generate(&SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        });
         let result = explore(&problem, &ExplorerConfig::complete())?;
         let stats = result.stats();
         if result.architecture().is_some() {
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        render_table(&["seed", "nodes", "edges", "iters", "time (s)", "cost"], &rows)
+        render_table(
+            &["seed", "nodes", "edges", "iters", "time (s)", "cost"],
+            &rows
+        )
     );
     println!(
         "\n{feasible}/{count} feasible, {:.1} iterations on average",

@@ -13,24 +13,21 @@ fn configs_under_test() -> Vec<(&'static str, ExplorerConfig)> {
         ("only_dec", ExplorerConfig::only_decomposition()),
         (
             "no_dominance",
-            ExplorerConfig { dominance_widening: false, ..ExplorerConfig::complete() },
-        ),
-        (
-            "no_warm_solver",
-            {
-                let mut c = ExplorerConfig::complete();
-                c.solve_options.warm_start = false;
-                c
+            ExplorerConfig {
+                dominance_widening: false,
+                ..ExplorerConfig::complete()
             },
         ),
-        (
-            "warm_solver",
-            {
-                let mut c = ExplorerConfig::complete();
-                c.solve_options.warm_start = true;
-                c
-            },
-        ),
+        ("no_warm_solver", {
+            let mut c = ExplorerConfig::complete();
+            c.solve_options.warm_start = false;
+            c
+        }),
+        ("warm_solver", {
+            let mut c = ExplorerConfig::complete();
+            c.solve_options.warm_start = true;
+            c
+        }),
     ]
 }
 
@@ -44,7 +41,10 @@ fn all_knobs_preserve_the_rpl_optimum() {
         .cost();
     for (name, cfg) in configs_under_test() {
         let got = explore(&p, &cfg).unwrap();
-        let cost = got.architecture().unwrap_or_else(|| panic!("{name}: infeasible")).cost();
+        let cost = got
+            .architecture()
+            .unwrap_or_else(|| panic!("{name}: infeasible"))
+            .cost();
         assert!(
             (cost - reference).abs() < 1e-6,
             "{name}: cost {cost} differs from reference {reference}"
@@ -62,7 +62,10 @@ fn all_knobs_preserve_the_epn_optimum() {
         .cost();
     for (name, cfg) in configs_under_test() {
         let got = explore(&p, &cfg).unwrap();
-        let cost = got.architecture().unwrap_or_else(|| panic!("{name}: infeasible")).cost();
+        let cost = got
+            .architecture()
+            .unwrap_or_else(|| panic!("{name}: infeasible"))
+            .cost();
         assert!(
             (cost - reference).abs() < 1e-6,
             "{name}: cost {cost} differs from reference {reference}"
@@ -91,25 +94,51 @@ fn dominance_widening_reduces_iterations() {
     t.add_candidate_edge(m, k);
 
     let mut lib = Library::new();
-    lib.add("S", src_t, Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0));
+    lib.add(
+        "S",
+        src_t,
+        Attrs::new()
+            .with(COST, 1.0)
+            .with(FLOW_GEN, 10.0)
+            .with(LATENCY, 1.0),
+    );
     lib.add(
         "slow",
         mach_t,
-        Attrs::new().with(COST, 1.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+        Attrs::new()
+            .with(COST, 1.0)
+            .with(THROUGHPUT, 20.0)
+            .with(LATENCY, 30.0),
     );
     lib.add(
         "worse", // dominated by `slow` for timing, but more expensive
         mach_t,
-        Attrs::new().with(COST, 2.0).with(THROUGHPUT, 20.0).with(LATENCY, 30.0),
+        Attrs::new()
+            .with(COST, 2.0)
+            .with(THROUGHPUT, 20.0)
+            .with(LATENCY, 30.0),
     );
     lib.add(
         "fast",
         mach_t,
-        Attrs::new().with(COST, 5.0).with(THROUGHPUT, 20.0).with(LATENCY, 2.0),
+        Attrs::new()
+            .with(COST, 5.0)
+            .with(THROUGHPUT, 20.0)
+            .with(LATENCY, 2.0),
     );
-    lib.add("K", sink_t, Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0));
+    lib.add(
+        "K",
+        sink_t,
+        Attrs::new()
+            .with(COST, 1.0)
+            .with(FLOW_CONS, 5.0)
+            .with(LATENCY, 1.0),
+    );
     let spec = SystemSpec {
-        flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+        flow: Some(FlowSpec {
+            max_supply: 100.0,
+            max_consumption: 100.0,
+        }),
         timing: Some(TimingSpec {
             max_latency: 10.0,
             max_input_jitter: 1.0,
@@ -123,12 +152,14 @@ fn dominance_widening_reduces_iterations() {
     let with = explore(&p, &ExplorerConfig::complete()).unwrap();
     let without = explore(
         &p,
-        &ExplorerConfig { dominance_widening: false, ..ExplorerConfig::complete() },
+        &ExplorerConfig {
+            dominance_widening: false,
+            ..ExplorerConfig::complete()
+        },
     )
     .unwrap();
     assert!(
-        (with.architecture().unwrap().cost() - without.architecture().unwrap().cost()).abs()
-            < 1e-6
+        (with.architecture().unwrap().cost() - without.architecture().unwrap().cost()).abs() < 1e-6
     );
     assert!(
         with.stats().iterations < without.stats().iterations,
@@ -140,15 +171,19 @@ fn dominance_widening_reduces_iterations() {
 
 #[test]
 fn explorer_time_budget_is_enforced() {
-    // A budget of ~zero must abort promptly with the TimeLimit error.
+    // A budget of ~zero must abort promptly, degrading to a partial result
+    // that names the exhausted wall-clock budget.
     let p = rpl::build(&RplConfig::default(), RplLines::Both);
     let cfg = ExplorerConfig {
         time_limit_secs: Some(1e-9),
         ..ExplorerConfig::complete()
     };
     match explore(&p, &cfg) {
-        Err(contrarc::ExploreError::TimeLimit { .. }) => {}
-        other => panic!("expected TimeLimit, got {other:?}"),
+        Ok(contrarc::Exploration::Partial {
+            reason: contrarc::StopReason::TimeLimit { .. },
+            ..
+        }) => {}
+        other => panic!("expected a time-limited partial result, got {other:?}"),
     }
 }
 

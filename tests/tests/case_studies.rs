@@ -31,8 +31,7 @@ fn rpl_iso_pruning_never_needs_more_iterations() {
     let only_dec = explore(&p, &ExplorerConfig::only_decomposition()).unwrap();
     assert!(complete.stats().iterations <= only_dec.stats().iterations);
     assert!(
-        (complete.architecture().unwrap().cost() - only_dec.architecture().unwrap().cost())
-            .abs()
+        (complete.architecture().unwrap().cost() - only_dec.architecture().unwrap().cost()).abs()
             < 1e-6
     );
 }
@@ -62,9 +61,7 @@ fn rpl_decomposed_equals_monolithic() {
     let dec = explore_decomposed(&config, &cfg).unwrap();
     let mono = explore_monolithic(&config, &cfg).unwrap();
     assert!(dec.compatibility_ok);
-    assert!(
-        (dec.total_cost().unwrap() - mono.architecture().unwrap().cost()).abs() < 1e-6
-    );
+    assert!((dec.total_cost().unwrap() - mono.architecture().unwrap().cost()).abs() < 1e-6);
 }
 
 #[test]
@@ -102,8 +99,10 @@ fn epn_all_selected_impl_latencies_fit_budget() {
         .sum();
     // Worst case excludes the sink's own output jitter.
     let sink = arch.sink_nodes(&p)[0];
-    let sink_jout =
-        p.library.attr(arch.graph().node_weight(sink).implementation, contrarc::attr::JITTER_OUT);
+    let sink_jout = p.library.attr(
+        arch.graph().node_weight(sink).implementation,
+        contrarc::attr::JITTER_OUT,
+    );
     assert!(
         total_latency + total_jitter - sink_jout <= config.max_latency + 1e-6,
         "worst-case {} exceeds budget {}",
@@ -121,8 +120,10 @@ fn epn_supply_within_cap() {
         .source_nodes(&p)
         .iter()
         .map(|&n| {
-            p.library
-                .attr(arch.graph().node_weight(n).implementation, contrarc::attr::FLOW_GEN)
+            p.library.attr(
+                arch.graph().node_weight(n).implementation,
+                contrarc::attr::FLOW_GEN,
+            )
         })
         .sum();
     let cap = p.spec.flow.unwrap().max_supply;
@@ -135,8 +136,7 @@ fn epn_modes_agree_and_complete_is_not_slower_in_iterations() {
     let complete = explore(&p, &ExplorerConfig::complete()).unwrap();
     let only_dec = explore(&p, &ExplorerConfig::only_decomposition()).unwrap();
     assert!(
-        (complete.architecture().unwrap().cost() - only_dec.architecture().unwrap().cost())
-            .abs()
+        (complete.architecture().unwrap().cost() - only_dec.architecture().unwrap().cost()).abs()
             < 1e-6
     );
     assert!(complete.stats().iterations <= only_dec.stats().iterations);

@@ -97,7 +97,11 @@ fn composition_is_commutative_for_refinement() {
     let x = voc.add_continuous("x", 0.0, 10.0);
     let y = voc.add_continuous("y", 0.0, 10.0);
     let c1 = Contract::new("c1", Pred::ge(1.0 * x, 1.0), Pred::le(1.0 * y, 5.0));
-    let c2 = Contract::new("c2", Pred::ge(1.0 * y, 0.0), Pred::le(1.0 * x + 1.0 * y, 12.0));
+    let c2 = Contract::new(
+        "c2",
+        Pred::ge(1.0 * y, 0.0),
+        Pred::le(1.0 * x + 1.0 * y, 12.0),
+    );
     let ab = c1.compose(&c2);
     let ba = c2.compose(&c1);
     let checker = RefinementChecker::new();

@@ -27,7 +27,11 @@ fn chain_problem(menu: &[(f64, f64)], max_latency: f64) -> Problem {
     lib.add(
         "S",
         src_t,
-        Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0).with(LATENCY, 1.0).with(JITTER_OUT, 0.1),
+        Attrs::new()
+            .with(COST, 1.0)
+            .with(FLOW_GEN, 10.0)
+            .with(LATENCY, 1.0)
+            .with(JITTER_OUT, 0.1),
     );
     for (i, &(cost, lat)) in menu.iter().enumerate() {
         lib.add(
@@ -43,10 +47,17 @@ fn chain_problem(menu: &[(f64, f64)], max_latency: f64) -> Problem {
     lib.add(
         "K",
         sink_t,
-        Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0).with(LATENCY, 1.0).with(JITTER_OUT, 0.1),
+        Attrs::new()
+            .with(COST, 1.0)
+            .with(FLOW_CONS, 5.0)
+            .with(LATENCY, 1.0)
+            .with(JITTER_OUT, 0.1),
     );
     let spec = SystemSpec {
-        flow: Some(FlowSpec { max_supply: 100.0, max_consumption: 100.0 }),
+        flow: Some(FlowSpec {
+            max_supply: 100.0,
+            max_consumption: 100.0,
+        }),
         timing: Some(TimingSpec {
             max_latency,
             max_input_jitter: 0.5,
@@ -74,7 +85,11 @@ fn exploration_matches_exhaustive_reference() {
             .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.min(c))));
         match (got.architecture(), want) {
             (Some(a), Some(w)) => {
-                assert!((a.cost() - w).abs() < 1e-6, "bound {bound}: {} vs {w}", a.cost());
+                assert!(
+                    (a.cost() - w).abs() < 1e-6,
+                    "bound {bound}: {} vs {w}",
+                    a.cost()
+                );
             }
             (None, None) => {}
             (g, w) => panic!(
@@ -93,9 +108,15 @@ fn returned_architecture_passes_independent_recheck() {
     let arch = result.architecture().expect("feasible");
     // Re-verify with a fresh checker in both modes.
     for compositional in [true, false] {
-        let cfg = RefinementConfig { compositional, max_paths: 1000 };
+        let cfg = RefinementConfig {
+            compositional,
+            max_paths: 1000,
+        };
         let v = check_candidate(&p, arch, &cfg, &RefinementChecker::new()).unwrap();
-        assert!(v.is_none(), "re-check (compositional={compositional}) found {v:?}");
+        assert!(
+            v.is_none(),
+            "re-check (compositional={compositional}) found {v:?}"
+        );
     }
 }
 

@@ -20,8 +20,9 @@ fn random_bip(seed: u64) -> RandomBip {
     let m = rng.random_range(1..=5);
     let mut constrs = Vec::new();
     for _ in 0..m {
-        let coeffs: Vec<f64> =
-            (0..n).map(|_| f64::from(rng.random_range(-4..=6))).collect();
+        let coeffs: Vec<f64> = (0..n)
+            .map(|_| f64::from(rng.random_range(-4..=6)))
+            .collect();
         let cmp = match rng.random_range(0..6) {
             0 => Cmp::Ge,
             1 => Cmp::Eq,
@@ -30,8 +31,15 @@ fn random_bip(seed: u64) -> RandomBip {
         let rhs = f64::from(rng.random_range(-2..=10));
         constrs.push((coeffs, cmp, rhs));
     }
-    let obj: Vec<f64> = (0..n).map(|_| f64::from(rng.random_range(-5..=9))).collect();
-    RandomBip { n, constrs, obj, maximize: rng.random_bool(0.5) }
+    let obj: Vec<f64> = (0..n)
+        .map(|_| f64::from(rng.random_range(-5..=9)))
+        .collect();
+    RandomBip {
+        n,
+        constrs,
+        obj,
+        maximize: rng.random_bool(0.5),
+    }
 }
 
 fn brute_force(p: &RandomBip) -> Option<f64> {
@@ -61,15 +69,23 @@ fn brute_force(p: &RandomBip) -> Option<f64> {
 
 fn solve_with_milp(p: &RandomBip) -> Option<f64> {
     let mut model = Model::new("bip");
-    let vars: Vec<_> = (0..p.n).map(|i| model.add_binary(format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..p.n)
+        .map(|i| model.add_binary(format!("x{i}")))
+        .collect();
     for (k, (coeffs, cmp, rhs)) in p.constrs.iter().enumerate() {
         let expr = LinExpr::weighted_sum(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)));
         model.add_constr(format!("c{k}"), expr, *cmp, *rhs).unwrap();
     }
     let obj = LinExpr::weighted_sum(vars.iter().zip(&p.obj).map(|(&v, &c)| (v, c)));
-    let sense = if p.maximize { Sense::Maximize } else { Sense::Minimize };
+    let sense = if p.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
     model.set_objective(sense, obj);
-    let outcome = model.solve(&SolveOptions::default()).expect("no solver error");
+    let outcome = model
+        .solve(&SolveOptions::default())
+        .expect("no solver error");
     outcome.solution().map(contrarc_milp::Solution::objective)
 }
 
@@ -194,7 +210,11 @@ fn mixed_integer_family() {
             .add_constr("cap", 2.0 * x + 2.0 * y + 1.0 * z, Cmp::Le, cap)
             .unwrap();
         model.set_objective(Sense::Maximize, 10.0 * x + 7.0 * y + 3.0 * z);
-        let sol = model.solve(&SolveOptions::default()).unwrap().expect_optimal().unwrap();
+        let sol = model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap();
         // Reference by small enumeration over the binaries.
         let mut best = f64::NEG_INFINITY;
         for (bx, by) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate (0.7 API subset).
+//!
+//! Provides `Criterion`/`BenchmarkGroup`/`Bencher` and the
+//! `criterion_group!`/`criterion_main!` macros so the workspace's
+//! `harness = false` bench targets build and run without the real crate.
+//! Every benchmark executes its routine once and prints the wall-clock time —
+//! the behaviour of real criterion's `--test` mode, which is also what
+//! `cargo test` exercises for bench targets. No statistics, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (stand-in for
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; single-pass execution ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; single-pass execution ignores it.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark routine and report its wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { elapsed_ns: 0 };
+        let started = Instant::now();
+        f(&mut bencher);
+        let total = started.elapsed();
+        println!("bench: {}/{} ... {:?}", self.name, id, total);
+        self
+    }
+
+    /// End the group. No-op in single-pass mode.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures (stand-in for
+/// `criterion::Bencher`).
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Execute the routine once, timing it.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let started = Instant::now();
+        let out = routine();
+        self.elapsed_ns += started.elapsed().as_nanos();
+        drop(out);
+    }
+}
+
+/// Opaque-value helper re-exported for convenience; real criterion also has
+/// one, though the benches in this workspace use `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_function_once() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(10);
+        group.bench_function(format!("f{}", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `petgraph` crate (0.8 API subset).
+//!
+//! The workspace uses petgraph only as a *differential oracle* for its own
+//! VF2 implementation: build two small `DiGraph`s and count node-induced
+//! subgraph isomorphisms. This stub reimplements exactly that surface with a
+//! brute-force backtracking matcher. Brute force is the point — an
+//! independent, obviously-correct reference is what a differential test
+//! wants, and the test graphs are tiny (patterns ≤ 4 nodes, targets ≤ 7).
+//!
+//! Semantics mirror `petgraph::algo::subgraph_isomorphisms_iter`: injective
+//! node maps `f` from the pattern into the target such that node weights
+//! match under `node_match`, and for every ordered pair of pattern nodes
+//! `(a, b)` an edge `a → b` exists in the pattern **iff** `f(a) → f(b)`
+//! exists in the target (node-induced), with `edge_match` required on every
+//! corresponding edge pair.
+
+#![forbid(unsafe_code)]
+
+/// Graph types.
+pub mod graph {
+    /// Node handle (stand-in for `petgraph::graph::NodeIndex`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct NodeIndex(pub(crate) usize);
+
+    impl NodeIndex {
+        /// Position of the node in insertion order.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Edge handle (stand-in for `petgraph::graph::EdgeIndex`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct EdgeIndex(pub(crate) usize);
+
+    /// Directed graph with node weights `N` and edge weights `E`.
+    #[derive(Debug, Clone, Default)]
+    pub struct DiGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        pub(crate) edges: Vec<(usize, usize, E)>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// Empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+
+        /// Add a node with the given weight.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Add a directed edge `a → b` with the given weight.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(
+                a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+                "invalid endpoint"
+            );
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex(self.edges.len() - 1)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// Weight of the first edge `a → b`, if one exists.
+        pub(crate) fn edge_weight_between(&self, a: usize, b: usize) -> Option<&E> {
+            self.edges
+                .iter()
+                .find(|&&(s, t, _)| s == a && t == b)
+                .map(|(_, _, w)| w)
+        }
+    }
+}
+
+/// Graph algorithms.
+pub mod algo {
+    use crate::graph::DiGraph;
+
+    /// All node-induced subgraph isomorphisms from `pattern` into `target`
+    /// (stand-in for `petgraph::algo::subgraph_isomorphisms_iter`).
+    ///
+    /// Returns `None` when the pattern cannot fit (more nodes than the
+    /// target), mirroring petgraph's contract, and otherwise an iterator of
+    /// mappings `m` with `m[p] = t` meaning pattern node `p` maps to target
+    /// node `t` (both by insertion index).
+    pub fn subgraph_isomorphisms_iter<'a, N0, N1, E0, E1, NM, EM>(
+        pattern: &'a &'a DiGraph<N0, E0>,
+        target: &'a &'a DiGraph<N1, E1>,
+        node_match: &'a mut NM,
+        edge_match: &'a mut EM,
+    ) -> Option<impl Iterator<Item = Vec<usize>>>
+    where
+        NM: FnMut(&N0, &N1) -> bool,
+        EM: FnMut(&E0, &E1) -> bool,
+    {
+        let pat: &DiGraph<N0, E0> = pattern;
+        let tgt: &DiGraph<N1, E1> = target;
+        if pat.node_count() > tgt.node_count() {
+            return None;
+        }
+        let mut found: Vec<Vec<usize>> = Vec::new();
+        let mut assignment: Vec<usize> = Vec::with_capacity(pat.node_count());
+        let mut used = vec![false; tgt.node_count()];
+        extend(
+            pat,
+            tgt,
+            node_match,
+            edge_match,
+            &mut assignment,
+            &mut used,
+            &mut found,
+        );
+        Some(found.into_iter())
+    }
+
+    /// Depth-first extension of a partial injective assignment; checks the
+    /// induced-edge condition against every previously placed pattern node so
+    /// dead branches are pruned as early as VF2 would.
+    fn extend<N0, N1, E0, E1, NM, EM>(
+        pat: &DiGraph<N0, E0>,
+        tgt: &DiGraph<N1, E1>,
+        node_match: &mut NM,
+        edge_match: &mut EM,
+        assignment: &mut Vec<usize>,
+        used: &mut [bool],
+        found: &mut Vec<Vec<usize>>,
+    ) where
+        NM: FnMut(&N0, &N1) -> bool,
+        EM: FnMut(&E0, &E1) -> bool,
+    {
+        let p = assignment.len();
+        if p == pat.node_count() {
+            found.push(assignment.clone());
+            return;
+        }
+        'candidates: for t in 0..tgt.node_count() {
+            if used[t] || !node_match(&pat.nodes[p], &tgt.nodes[t]) {
+                continue;
+            }
+            for (q, &tq) in assignment.iter().enumerate() {
+                // Both orientations between the new node p and each placed
+                // node q, plus the self-loop pair (q == p is impossible
+                // here, so check p against itself separately below).
+                for &(pa, pb, ta, tb) in &[(p, q, t, tq), (q, p, tq, t)] {
+                    match (
+                        pat.edge_weight_between(pa, pb),
+                        tgt.edge_weight_between(ta, tb),
+                    ) {
+                        (Some(we), Some(wt)) => {
+                            if !edge_match(we, wt) {
+                                continue 'candidates;
+                            }
+                        }
+                        (None, None) => {}
+                        _ => continue 'candidates,
+                    }
+                }
+            }
+            match (pat.edge_weight_between(p, p), tgt.edge_weight_between(t, t)) {
+                (Some(we), Some(wt)) => {
+                    if !edge_match(we, wt) {
+                        continue 'candidates;
+                    }
+                }
+                (None, None) => {}
+                _ => continue 'candidates,
+            }
+            assignment.push(t);
+            used[t] = true;
+            extend(pat, tgt, node_match, edge_match, assignment, used, found);
+            assignment.pop();
+            used[t] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::subgraph_isomorphisms_iter;
+    use super::graph::DiGraph;
+
+    fn count(pat: &DiGraph<u8, ()>, tgt: &DiGraph<u8, ()>) -> usize {
+        let mut nm = |a: &u8, b: &u8| a == b;
+        let mut em = |_: &(), _: &()| true;
+        subgraph_isomorphisms_iter(&pat, &tgt, &mut nm, &mut em)
+            .map(|it| it.count())
+            .unwrap_or(0)
+    }
+
+    fn graph(n: usize, labels: &[u8], edges: &[(usize, usize)]) -> DiGraph<u8, ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(labels[i])).collect();
+        for &(a, b) in edges {
+            g.add_edge(ids[a], ids[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_into_triangle_cycle() {
+        // Directed 3-cycle: the induced image of an edge must have exactly
+        // one arc between its two nodes, which holds for each cycle arc.
+        let pat = graph(2, &[0, 0], &[(0, 1)]);
+        let tgt = graph(3, &[0, 0, 0], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count(&pat, &tgt), 3);
+    }
+
+    #[test]
+    fn induced_semantics_reject_extra_edges() {
+        // Pattern: two disconnected nodes. Target: a single directed edge.
+        // Induced matching forbids mapping onto the edge's endpoints.
+        let pat = graph(2, &[0, 0], &[]);
+        let tgt = graph(2, &[0, 0], &[(0, 1)]);
+        assert_eq!(count(&pat, &tgt), 0);
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let pat = graph(1, &[3], &[]);
+        let tgt = graph(4, &[3, 1, 3, 2], &[]);
+        assert_eq!(count(&pat, &tgt), 2);
+    }
+
+    #[test]
+    fn oversized_pattern_returns_none() {
+        let pat = graph(3, &[0, 0, 0], &[]);
+        let tgt = graph(2, &[0, 0], &[]);
+        let mut nm = |a: &u8, b: &u8| a == b;
+        let mut em = |_: &(), _: &()| true;
+        assert!(subgraph_isomorphisms_iter(&&pat, &&tgt, &mut nm, &mut em).is_none());
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest this workspace's tests use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, `Just`, range and
+//! tuple strategies, `prop_oneof!`, `proptest::array::uniform8`, and the
+//! `prop_assert*` macros. Generation is deterministic (seeded per test name
+//! and case index) and there is **no shrinking** — a failing case panics with
+//! the raw assertion message, which is adequate for CI regression detection.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG and run configuration.
+pub mod test_runner {
+    /// Run configuration (stand-in for `proptest::test_runner::Config`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is executed with.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// FNV-1a hash of a string; used to derive a per-test seed from the
+    /// property function's name so distinct properties see distinct streams.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// SplitMix64 generator driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator seeded with `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Stand-in for `proptest::strategy::Strategy`: a recipe for producing
+    /// values of type `Value` from an RNG. No shrinking machinery.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                generate: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+
+        /// Build recursive values: `self` generates leaves, and `recurse` is
+        /// handed a strategy for the previous level to build one level up.
+        /// `depth` bounds the nesting; the size/branch hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut level = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                let leaf = base.clone();
+                level = BoxedStrategy {
+                    generate: Rc::new(move |rng: &mut TestRng| {
+                        // Half leaves, half recursion keeps expected size
+                        // finite at any depth bound.
+                        if rng.next_u64() & 1 == 0 {
+                            leaf.generate(rng)
+                        } else {
+                            deeper.generate(rng)
+                        }
+                    }),
+                };
+            }
+            level
+        }
+    }
+
+    /// Cloneable, type-erased strategy handle.
+    pub struct BoxedStrategy<T> {
+        generate: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                generate: Rc::clone(&self.generate),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generate)(rng)
+        }
+    }
+
+    /// Strategy producing the same value every time.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Adapter behind [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased strategies; backs `prop_oneof!`.
+    pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(
+            !choices.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        BoxedStrategy {
+            generate: Rc::new(move |rng: &mut TestRng| {
+                let i = (rng.next_u64() % choices.len() as u64) as usize;
+                choices[i].generate(rng)
+            }),
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as f64;
+                    let hi = self.end as f64;
+                    (lo + rng.unit_f64() * (hi - lo)) as $t
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A 0);
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]` drawing each element from `S`.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident $n:literal),*) => {$(
+            /// Array strategy with every element drawn from `strategy`.
+            pub fn $name<S: Strategy>(strategy: S) -> UniformArray<S, $n> {
+                UniformArray(strategy)
+            }
+        )*};
+    }
+    uniform_fns!(uniform2 2, uniform3 3, uniform4 4, uniform8 8, uniform16 16, uniform32 32);
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Property-test entry macro (stand-in for `proptest::proptest!`).
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by any
+/// number of `fn name(pat in strategy, ...) { body }` items, each of which
+/// expands to a plain `#[test]`-attributed function running `cases`
+/// deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed = $crate::test_runner::fnv1a(stringify!($name));
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assertion macro; without shrinking this is plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion macro; without shrinking this is plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion macro; without shrinking this is plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0i32..10, 5u8..=9), x in 0.0f64..1.0) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), Just(2), (3u8..=5).prop_map(|x| x)]) {
+            prop_assert!((1..=5).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaf_sum(t: &Tree) -> i64 {
+            match t {
+                Tree::Leaf(v) => i64::from(*v),
+                Tree::Node(a, b) => leaf_sum(a) + leaf_sum(b),
+            }
+        }
+        let strat = (0i32..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_runner::TestRng::new(99);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3, "depth bound violated: {t:?}");
+            assert!(leaf_sum(&t) >= 0, "leaves are drawn from 0..4: {t:?}");
+        }
+    }
+
+    #[test]
+    fn uniform8_fills_array() {
+        let s = crate::array::uniform8(0u8..44);
+        let mut rng = crate::test_runner::TestRng::new(5);
+        let arr = s.generate(&mut rng);
+        assert_eq!(arr.len(), 8);
+        assert!(arr.iter().all(|&v| v < 44));
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so the real `serde` cannot be fetched. This crate keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling by
+//! providing the two trait names as *markers* with blanket implementations,
+//! and (via the `derive` feature) no-op derive macros.
+//!
+//! Nothing in the workspace performs serde-based serialization at runtime —
+//! persistent formats (e.g. the explorer checkpoint) use explicit,
+//! hand-written encodings precisely so they work without this crate being
+//! real. When a registry is available again, deleting the `vendor/` overrides
+//! in the workspace `Cargo.toml` restores the genuine dependency without any
+//! source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
