@@ -1,0 +1,129 @@
+//! Bench smoke for the parallel exploration engine (not part of the paper).
+//!
+//! Explores a small RPL instance at `threads = 1` (the serial baseline) and
+//! `threads = 0` (every available core) and writes `BENCH_explore.json`
+//! recording per-phase wall-clock times, the refinement-cache hit rate, and
+//! the parallel speedup. CI runs this as a smoke check that the parallel
+//! engine reproduces the serial optimum; the speedup figure is only
+//! meaningful on a multi-core runner, so the core count is recorded next to
+//! it.
+//!
+//! Usage: `explore_bench [output-path]` (default `BENCH_explore.json`).
+
+use contrarc::{explore, ExplorationStats, ExplorerConfig};
+use contrarc_systems::rpl::{build, RplConfig, RplLines};
+use std::time::Instant;
+
+struct Run {
+    threads: usize,
+    effective_threads: usize,
+    wall_secs: f64,
+    cost: f64,
+    stats: ExplorationStats,
+}
+
+fn run_once(threads: usize) -> Run {
+    let p = build(&RplConfig::default(), RplLines::Both);
+    let cfg = ExplorerConfig {
+        threads,
+        ..ExplorerConfig::complete()
+    };
+    let t0 = Instant::now();
+    let result = explore(&p, &cfg).expect("exploration failed");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let cost = result
+        .architecture()
+        .expect("RPL default instance is feasible")
+        .cost();
+    Run {
+        threads,
+        effective_threads: contrarc_par::effective_threads(threads),
+        wall_secs,
+        cost,
+        stats: *result.stats(),
+    }
+}
+
+fn json_run(r: &Run) -> String {
+    let s = &r.stats;
+    let consulted = s.cache_hits + s.cache_misses;
+    let hit_rate = if consulted == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / consulted as f64
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"threads\": {},\n",
+            "      \"effective_threads\": {},\n",
+            "      \"wall_secs\": {:.6},\n",
+            "      \"milp_secs\": {:.6},\n",
+            "      \"refine_secs\": {:.6},\n",
+            "      \"cert_secs\": {:.6},\n",
+            "      \"iterations\": {},\n",
+            "      \"cuts_added\": {},\n",
+            "      \"cache_hits\": {},\n",
+            "      \"cache_misses\": {},\n",
+            "      \"cache_hit_rate\": {:.4},\n",
+            "      \"optimum\": {:.6}\n",
+            "    }}"
+        ),
+        r.threads,
+        r.effective_threads,
+        r.wall_secs,
+        s.milp_time,
+        s.refine_time,
+        s.cert_time,
+        s.iterations,
+        s.cuts_added,
+        s.cache_hits,
+        s.cache_misses,
+        hit_rate,
+        r.cost,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    // Serial baseline first, then all cores; warm-up runs excluded on
+    // purpose — this is a smoke check, not a statistical benchmark.
+    let serial = run_once(1);
+    let parallel = run_once(0);
+
+    assert_eq!(
+        serial.cost.to_bits(),
+        parallel.cost.to_bits(),
+        "parallel optimum must be bit-identical to serial"
+    );
+    assert_eq!(serial.stats.iterations, parallel.stats.iterations);
+    assert_eq!(serial.stats.cuts_added, parallel.stats.cuts_added);
+
+    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-12);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"case\": \"rpl-default-both\",\n",
+            "  \"cores\": {},\n",
+            "  \"speedup_serial_over_max_threads\": {:.4},\n",
+            "  \"runs\": [\n{},\n{}\n  ]\n",
+            "}}\n"
+        ),
+        contrarc_par::available_parallelism(),
+        speedup,
+        json_run(&serial),
+        json_run(&parallel),
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!(
+        "explore_bench: serial {:.3}s, max-threads {:.3}s ({} cores, speedup {:.2}x) -> {}",
+        serial.wall_secs,
+        parallel.wall_secs,
+        contrarc_par::available_parallelism(),
+        speedup,
+        out_path
+    );
+}

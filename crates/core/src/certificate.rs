@@ -23,7 +23,7 @@ use crate::problem::Problem;
 use crate::refinement::{Violation, ViolationScope};
 use crate::template::TypeId;
 use crate::viewpoint::Viewpoint;
-use contrarc_graph::iso::{subgraph_isomorphisms, Embedding, MatchMode};
+use contrarc_graph::iso::{subgraph_isomorphisms_par, Embedding, MatchMode};
 use contrarc_graph::{DiGraph, NodeId};
 use contrarc_milp::{Cmp, LinExpr, SolveError, VarId};
 use std::collections::BTreeSet;
@@ -79,6 +79,9 @@ pub struct CutConfig {
     /// When off, cuts mention only the exact implementations of the invalid
     /// candidate (a weaker, but still sound, no-good).
     pub dominance_widening: bool,
+    /// Worker threads for embedding enumeration (`0` = all available cores).
+    /// Any value yields the same embeddings in the same order.
+    pub threads: usize,
 }
 
 impl Default for CutConfig {
@@ -86,6 +89,7 @@ impl Default for CutConfig {
         CutConfig {
             iso_pruning: true,
             dominance_widening: true,
+            threads: 1,
         }
     }
 }
@@ -152,7 +156,13 @@ pub fn apply_cuts(
 
     // --- embeddings ------------------------------------------------------------
     let embeddings: Vec<Embedding> = if iso_pruning {
-        subgraph_isomorphisms(&pattern, &target, MatchMode::Monomorphism, |a, b| a == b)
+        subgraph_isomorphisms_par(
+            &pattern,
+            &target,
+            MatchMode::Monomorphism,
+            config.threads,
+            |a, b| a == b,
+        )
     } else {
         // Identity embedding: each pattern node to its own template node.
         vec![Embedding::from_mapping(

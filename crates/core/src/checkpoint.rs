@@ -183,7 +183,7 @@ impl ExplorerCheckpoint {
         }
         let s = &self.stats;
         out.push_str(&format!(
-            "stats {} {} {} {} {} {} {} {}\n",
+            "stats {} {} {} {} {} {} {} {} {} {}\n",
             s.iterations,
             s.cuts_added,
             s.milp_vars,
@@ -192,6 +192,8 @@ impl ExplorerCheckpoint {
             f64_hex(s.refine_time),
             f64_hex(s.cert_time),
             f64_hex(s.total_time),
+            s.cache_hits,
+            s.cache_misses,
         ));
         out.push_str(&format!("usage {} {}\n", self.nodes_used, self.pivots_used));
         out.push_str(&format!("aux_vars {}\n", self.aux_vars.len()));
@@ -267,10 +269,12 @@ impl ExplorerCheckpoint {
         };
         let (ln, st) = field(&mut lines, "stats")?;
         let parts: Vec<&str> = st.split(' ').collect();
-        if parts.len() != 8 {
+        // 8 fields = pre-cache checkpoints (counters default to zero);
+        // 10 fields = current format with cache hit/miss counters.
+        if parts.len() != 8 && parts.len() != 10 {
             return Err(err(
                 ln,
-                format!("stats needs 8 fields, found {}", parts.len()),
+                format!("stats needs 8 or 10 fields, found {}", parts.len()),
             ));
         }
         let stats = ExplorationStats {
@@ -282,6 +286,16 @@ impl ExplorerCheckpoint {
             refine_time: parse_f64(ln, parts[5])?,
             cert_time: parse_f64(ln, parts[6])?,
             total_time: parse_f64(ln, parts[7])?,
+            cache_hits: if parts.len() == 10 {
+                parse_int(ln, parts[8])?
+            } else {
+                0
+            },
+            cache_misses: if parts.len() == 10 {
+                parse_int(ln, parts[9])?
+            } else {
+                0
+            },
         };
         let (ln, us) = field(&mut lines, "usage")?;
         let (nodes, pivots) = us
@@ -495,6 +509,8 @@ mod tests {
                 refine_time: 0.25,
                 cert_time: 0.0625,
                 total_time: 0.5,
+                cache_hits: 11,
+                cache_misses: 4,
             },
             aux_vars: vec![AuxVarRecord {
                 name: "cut0[y] indicator".into(),
@@ -551,6 +567,27 @@ mod tests {
         ckpt.cost_floor = None;
         let back = ExplorerCheckpoint::from_text(&ckpt.to_text()).unwrap();
         assert_eq!(back.cost_floor, None);
+    }
+
+    #[test]
+    fn legacy_eight_field_stats_line_parses_with_zero_cache_counters() {
+        let text = sample().to_text();
+        let legacy: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("stats ") {
+                    let fields: Vec<&str> = rest.split(' ').collect();
+                    format!("stats {}", fields[..8].join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ExplorerCheckpoint::from_text(&legacy).unwrap();
+        assert_eq!(back.stats.iterations, sample().stats.iterations);
+        assert_eq!(back.stats.cache_hits, 0);
+        assert_eq!(back.stats.cache_misses, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::certificate::{apply_cuts, CutConfig};
 use crate::checkpoint::{fingerprint, AuxVarRecord, CutRecord, ExplorerCheckpoint};
 use crate::encode::encode_problem2;
 use crate::problem::Problem;
-use crate::refinement::{check_candidate_all, RefinementConfig};
+use crate::refinement::{check_candidate_all_cached, RefinementCache, RefinementConfig};
 use contrarc_contracts::{EncodeOptions, RefinementChecker};
 use contrarc_milp::{Budget, LinExpr, SolveError, SolveOptions, VarDef, VarId};
 use serde::{Deserialize, Serialize};
@@ -44,6 +44,16 @@ pub struct ExplorerConfig {
     pub solve_options: SolveOptions,
     /// Cap on path enumeration during compositional checking.
     pub max_paths: usize,
+    /// Worker threads for every parallel phase of the exploration:
+    /// speculative branch-and-bound node evaluation in candidate selection,
+    /// the per-path refinement wave, and certificate embedding enumeration.
+    /// `0` (the default) means "use every available core"; `1` reproduces
+    /// the serial exploration bit for bit. Any value yields the same optimum,
+    /// cuts, iteration counts, and cache counters — only wall-clock time
+    /// and, under a finite work budget, the exact exhaustion point vary.
+    /// Overrides `solve_options.threads`. Not part of the checkpoint
+    /// fingerprint: a run may be resumed with a different thread count.
+    pub threads: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -56,6 +66,7 @@ impl Default for ExplorerConfig {
             time_limit_secs: None,
             solve_options: SolveOptions::default(),
             max_paths: 100_000,
+            threads: 0,
         }
     }
 }
@@ -106,19 +117,26 @@ pub struct ExplorationStats {
     pub cert_time: f64,
     /// Total wall-clock seconds.
     pub total_time: f64,
+    /// Refinement checks answered by the canonical-form verdict cache.
+    pub cache_hits: u64,
+    /// Refinement checks that had to be solved fresh (and were then cached).
+    pub cache_misses: u64,
 }
 
 impl fmt::Display for ExplorationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} iterations, {} cuts, {:.3} s total ({:.3} milp / {:.3} refine / {:.3} cert)",
+            "{} iterations, {} cuts, {:.3} s total ({:.3} milp / {:.3} refine / {:.3} cert), \
+             cache {}/{} hits",
             self.iterations,
             self.cuts_added,
             self.total_time,
             self.milp_time,
             self.refine_time,
-            self.cert_time
+            self.cert_time,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses
         )
     }
 }
@@ -440,6 +458,12 @@ pub struct Explorer<'p> {
     /// FNV-1a fingerprint of the baseline encoding + pruning configuration,
     /// used to validate checkpoints.
     fingerprint: u64,
+    /// Canonical-form refinement-verdict cache, shared by every iteration.
+    cache: RefinementCache,
+    /// Cache counters restored from a checkpoint; the stats report
+    /// `prior + cache counters` (the cache itself restarts empty on resume).
+    prior_cache_hits: u64,
+    prior_cache_misses: u64,
 }
 
 impl<'p> Explorer<'p> {
@@ -468,11 +492,18 @@ impl<'p> Explorer<'p> {
             .tightened_by_secs(config.time_limit_secs);
         let budget = config.solve_options.budget.clone().with_deadline(deadline);
         config.solve_options.budget = budget.clone();
-        let checker =
-            RefinementChecker::with_options(config.solve_options.clone(), EncodeOptions::default());
+        // The exploration-wide thread knob drives candidate selection; the
+        // refinement checker's inner LP solves stay serial because the
+        // parallelism there comes from the per-path wave — nesting both
+        // would oversubscribe the cores.
+        config.solve_options.threads = config.threads;
+        let mut checker_options = config.solve_options.clone();
+        checker_options.threads = 1;
+        let checker = RefinementChecker::with_options(checker_options, EncodeOptions::default());
         let ref_config = RefinementConfig {
             compositional: config.compositional,
             max_paths: config.max_paths,
+            threads: config.threads,
         };
         let baseline_vars = enc.model.num_vars();
         let baseline_constrs = enc.model.num_constrs();
@@ -494,6 +525,9 @@ impl<'p> Explorer<'p> {
             baseline_vars,
             baseline_constrs,
             fingerprint,
+            cache: RefinementCache::new(),
+            prior_cache_hits: 0,
+            prior_cache_misses: 0,
         })
     }
 
@@ -569,6 +603,8 @@ impl<'p> Explorer<'p> {
         ex.stats.milp_vars = fresh_vars;
         ex.stats.milp_constraints = fresh_constrs;
         ex.prior_secs = checkpoint.stats.total_time;
+        ex.prior_cache_hits = checkpoint.stats.cache_hits;
+        ex.prior_cache_misses = checkpoint.stats.cache_misses;
         ex.cut_seq = checkpoint.cut_seq;
         ex.cost_floor = checkpoint.cost_floor;
         ex.budget
@@ -634,6 +670,13 @@ impl<'p> Explorer<'p> {
     #[must_use]
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// The canonical-form refinement-verdict cache. Its counters are also
+    /// mirrored into [`ExplorationStats`] after every refinement phase.
+    #[must_use]
+    pub fn refinement_cache(&self) -> &RefinementCache {
+        &self.cache
     }
 
     /// The most recent candidate selected by the MILP (unverified unless the
@@ -723,10 +766,19 @@ impl<'p> Explorer<'p> {
         let arch = Architecture::decode(self.problem, &self.enc, solution);
         self.incumbent = Some(arch.clone());
 
-        // Problem 3: refinement verification.
+        // Problem 3: refinement verification (parallel per-path wave, with
+        // verdicts memoized by the canonical form of the checked scope).
         let t1 = Instant::now();
-        let violations = check_candidate_all(self.problem, &arch, &self.ref_config, &self.checker);
+        let violations = check_candidate_all_cached(
+            self.problem,
+            &arch,
+            &self.ref_config,
+            &self.checker,
+            Some(&self.cache),
+        );
         self.stats.refine_time += t1.elapsed().as_secs_f64();
+        self.stats.cache_hits = self.prior_cache_hits + self.cache.hits();
+        self.stats.cache_misses = self.prior_cache_misses + self.cache.misses();
         let violations = match violations {
             Ok(v) => v,
             Err(e) => return self.exhaust_or_err(e),
@@ -743,6 +795,7 @@ impl<'p> Explorer<'p> {
         let cut_config = CutConfig {
             iso_pruning: self.config.iso_pruning,
             dominance_widening: self.config.dominance_widening,
+            threads: self.config.threads,
         };
         let mut added = 0;
         let mut cut_err = None;

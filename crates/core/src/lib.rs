@@ -98,6 +98,6 @@ pub use explorer::{
 };
 pub use library::{ImplId, Implementation, Library};
 pub use problem::{FlowSpec, Problem, SystemSpec, TimingSpec};
-pub use refinement::{RefinementConfig, Violation, ViolationScope};
+pub use refinement::{RefinementCache, RefinementConfig, Violation, ViolationScope};
 pub use template::{Template, TemplateNode, TypeConfig, TypeId};
 pub use viewpoint::Viewpoint;

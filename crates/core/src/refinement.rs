@@ -1,16 +1,19 @@
 //! Problem 3 / Algorithm 1: (compositional) contract refinement verification
 //! of a candidate architecture against the system-level contracts.
 
-use crate::candidate::Architecture;
+use crate::candidate::{ArchNode, Architecture};
 use crate::gen::{build_flow_model, build_timing_model, CheckModel};
 use crate::problem::Problem;
 use crate::viewpoint::Viewpoint;
 use contrarc_contracts::RefinementChecker;
 use contrarc_graph::paths::all_simple_paths;
-use contrarc_graph::NodeId;
+use contrarc_graph::{canonical_form, DiGraph, NodeId};
 use contrarc_milp::SolveError;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The invalid sub-architecture `𝒢_map` a failed refinement identifies.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,6 +61,11 @@ pub struct RefinementConfig {
     pub compositional: bool,
     /// Cap on path enumeration (safety valve).
     pub max_paths: usize,
+    /// Worker threads for per-path refinement checks in the collect-all mode
+    /// (`0` = all available cores). Any value yields the same violations,
+    /// verdicts, and cache counters: the per-path results are assembled in
+    /// path-enumeration order regardless of completion order.
+    pub threads: usize,
 }
 
 impl Default for RefinementConfig {
@@ -65,8 +73,144 @@ impl Default for RefinementConfig {
         RefinementConfig {
             compositional: true,
             max_paths: 100_000,
+            threads: 1,
         }
     }
+}
+
+/// Cache-key tag: compositional timing check of one source→sink path.
+const KEY_TIMING_PATH: u8 = 0;
+/// Cache-key tag: monolithic timing check of the whole architecture.
+const KEY_TIMING_WHOLE: u8 = 1;
+/// Cache-key tag: flow check of the whole architecture.
+const KEY_FLOW: u8 = 2;
+
+/// A memo of refinement verdicts keyed by the *canonical form* of the checked
+/// sub-architecture.
+///
+/// Every check model in this module is determined, up to a renaming of
+/// variables that cannot change the verdict, by (a) which kind of check it is
+/// and (b) the scope graph labeled with each node's
+/// `(type, implementation)` pair. Keying on
+/// [`canonical_form`] therefore reuses a verdict across *isomorphic* scopes:
+/// two different candidates that route through label-identical paths share
+/// one cached check, as do relabelings of the same candidate.
+///
+/// The cache is only sound for a fixed [`Problem`] (specs and library
+/// attributes are baked into the models but not the keys) — use one cache per
+/// exploration, as [`Explorer`](crate::Explorer) does.
+///
+/// All methods take `&self`; the cache is shared freely across the worker
+/// threads of a parallel refinement wave. Hit/miss counters are deterministic
+/// for any thread count because lookups happen in the serial key pass, never
+/// in the workers.
+#[derive(Debug, Default)]
+pub struct RefinementCache {
+    verdicts: Mutex<HashMap<Vec<u8>, bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RefinementCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups answered from the cache (including lookups answered
+    /// by a computation already in flight in the same wave).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that required a fresh refinement check.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct verdicts stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache user panicked while holding the internal lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether no verdict has been stored yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<bool> {
+        self.verdicts
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .copied()
+    }
+
+    fn store(&self, key: Vec<u8>, verdict: bool) {
+        self.verdicts
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, verdict);
+    }
+
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The canonicalization label of a scope node: its `(type, implementation)`
+/// pair, rendered as bytes.
+fn scope_label(w: &ArchNode) -> Vec<u8> {
+    let mut b = Vec::with_capacity(8);
+    b.extend_from_slice(&w.ty.0.to_le_bytes());
+    b.extend_from_slice(&w.implementation.0.to_le_bytes());
+    b
+}
+
+/// Cache key for a path-scoped timing check: the canonical form of the
+/// labeled path chain.
+fn path_cache_key(arch: &Architecture, path: &[NodeId]) -> Vec<u8> {
+    let mut g: DiGraph<Vec<u8>, ()> = DiGraph::new();
+    let ids: Vec<NodeId> = path
+        .iter()
+        .map(|&n| g.add_node(scope_label(arch.graph().node_weight(n))))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], ());
+    }
+    let mut key = vec![KEY_TIMING_PATH];
+    key.extend_from_slice(canonical_form(&g, Clone::clone).as_bytes());
+    key
+}
+
+/// Cache key for a whole-architecture check: the canonical form of the full
+/// labeled candidate graph, tagged with the check kind.
+fn whole_cache_key(kind: u8, arch: &Architecture) -> Vec<u8> {
+    let g = arch.graph();
+    let mut h: DiGraph<Vec<u8>, ()> = DiGraph::new();
+    let ids: HashMap<NodeId, NodeId> = g
+        .nodes()
+        .map(|(n, w)| (n, h.add_node(scope_label(w))))
+        .collect();
+    for e in g.edges() {
+        h.add_edge(ids[&e.src], ids[&e.dst], ());
+    }
+    let mut key = vec![kind];
+    key.extend_from_slice(canonical_form(&h, Clone::clone).as_bytes());
+    key
 }
 
 /// Check a candidate architecture against every active system contract.
@@ -82,7 +226,7 @@ pub fn check_candidate(
     config: &RefinementConfig,
     checker: &RefinementChecker,
 ) -> Result<Option<Violation>, SolveError> {
-    let found = check_candidate_inner(problem, arch, config, checker, true)?;
+    let found = check_candidate_inner(problem, arch, config, checker, true, None)?;
     Ok(found.into_iter().next())
 }
 
@@ -100,7 +244,26 @@ pub fn check_candidate_all(
     config: &RefinementConfig,
     checker: &RefinementChecker,
 ) -> Result<Vec<Violation>, SolveError> {
-    check_candidate_inner(problem, arch, config, checker, false)
+    check_candidate_inner(problem, arch, config, checker, false, None)
+}
+
+/// Like [`check_candidate_all`], but with an optional [`RefinementCache`]:
+/// verdicts for canonically-identical scopes are served from the cache
+/// instead of re-solved, and fresh verdicts are stored for later calls. The
+/// returned violations are identical to the uncached call's (the cache only
+/// ever replays a verdict the checker itself would produce).
+///
+/// # Errors
+///
+/// Propagates encoding/solver errors from the underlying refinement queries.
+pub fn check_candidate_all_cached(
+    problem: &Problem,
+    arch: &Architecture,
+    config: &RefinementConfig,
+    checker: &RefinementChecker,
+    cache: Option<&RefinementCache>,
+) -> Result<Vec<Violation>, SolveError> {
+    check_candidate_inner(problem, arch, config, checker, false, cache)
 }
 
 fn check_candidate_inner(
@@ -109,6 +272,7 @@ fn check_candidate_inner(
     config: &RefinementConfig,
     checker: &RefinementChecker,
     stop_at_first: bool,
+    cache: Option<&RefinementCache>,
 ) -> Result<Vec<Violation>, SolveError> {
     let mut out = Vec::new();
     // Path-specific viewpoints first (d_p), then whole-architecture (d_o),
@@ -122,36 +286,51 @@ fn check_candidate_inner(
                 let sources = arch.source_nodes(problem);
                 let sinks = arch.sink_nodes(problem);
                 let paths = all_simple_paths(arch.graph(), &sources, &sinks, config.max_paths);
-                for path in paths {
-                    let edges: Vec<(NodeId, NodeId)> =
-                        path.windows(2).map(|w| (w[0], w[1])).collect();
-                    let model = build_timing_model(
-                        problem,
-                        arch,
-                        &path,
-                        &edges,
-                        &path[..1],
-                        &path[path.len() - 1..],
-                    );
-                    if !refines(&model, checker)? {
-                        out.push(Violation {
-                            viewpoint: Viewpoint::Timing,
-                            scope: ViolationScope::Path(path),
-                        });
-                        if stop_at_first {
+                if stop_at_first {
+                    // Serial early-exit loop: preserves the historical "stop
+                    // at the first violated path" work profile.
+                    for path in paths {
+                        let holds = check_cached(
+                            cache,
+                            || path_cache_key(arch, &path),
+                            || check_timing_path(problem, arch, &path, checker),
+                        )?;
+                        if !holds {
+                            out.push(Violation {
+                                viewpoint: Viewpoint::Timing,
+                                scope: ViolationScope::Path(path),
+                            });
                             return Ok(out);
+                        }
+                    }
+                } else {
+                    let verdicts = check_paths_wave(problem, arch, &paths, config, checker, cache)?;
+                    for (path, holds) in paths.into_iter().zip(verdicts) {
+                        if !holds {
+                            out.push(Violation {
+                                viewpoint: Viewpoint::Timing,
+                                scope: ViolationScope::Path(path),
+                            });
                         }
                     }
                 }
             }
             Viewpoint::Timing => {
-                let nodes: Vec<NodeId> = arch.graph().node_ids().collect();
-                let edges: Vec<(NodeId, NodeId)> =
-                    arch.graph().edges().map(|e| (e.src, e.dst)).collect();
-                let sources = arch.source_nodes(problem);
-                let sinks = arch.sink_nodes(problem);
-                let model = build_timing_model(problem, arch, &nodes, &edges, &sources, &sinks);
-                if !refines(&model, checker)? {
+                let holds = check_cached(
+                    cache,
+                    || whole_cache_key(KEY_TIMING_WHOLE, arch),
+                    || {
+                        let nodes: Vec<NodeId> = arch.graph().node_ids().collect();
+                        let edges: Vec<(NodeId, NodeId)> =
+                            arch.graph().edges().map(|e| (e.src, e.dst)).collect();
+                        let sources = arch.source_nodes(problem);
+                        let sinks = arch.sink_nodes(problem);
+                        let model =
+                            build_timing_model(problem, arch, &nodes, &edges, &sources, &sinks);
+                        refines(&model, checker)
+                    },
+                )?;
+                if !holds {
                     out.push(Violation {
                         viewpoint: Viewpoint::Timing,
                         scope: ViolationScope::Whole,
@@ -162,8 +341,12 @@ fn check_candidate_inner(
                 }
             }
             Viewpoint::Flow => {
-                let model = build_flow_model(problem, arch);
-                if !refines(&model, checker)? {
+                let holds = check_cached(
+                    cache,
+                    || whole_cache_key(KEY_FLOW, arch),
+                    || refines(&build_flow_model(problem, arch), checker),
+                )?;
+                if !holds {
                     out.push(Violation {
                         viewpoint: Viewpoint::Flow,
                         scope: ViolationScope::Whole,
@@ -176,6 +359,122 @@ fn check_candidate_inner(
         }
     }
     Ok(out)
+}
+
+/// One compositional timing check: build the path-scoped model and decide
+/// refinement.
+fn check_timing_path(
+    problem: &Problem,
+    arch: &Architecture,
+    path: &[NodeId],
+    checker: &RefinementChecker,
+) -> Result<bool, SolveError> {
+    let edges: Vec<(NodeId, NodeId)> = path.windows(2).map(|w| (w[0], w[1])).collect();
+    let model = build_timing_model(
+        problem,
+        arch,
+        path,
+        &edges,
+        &path[..1],
+        &path[path.len() - 1..],
+    );
+    refines(&model, checker)
+}
+
+/// Run one check through the cache (when present): lookup by key, compute on
+/// miss, store the fresh verdict.
+fn check_cached(
+    cache: Option<&RefinementCache>,
+    key: impl FnOnce() -> Vec<u8>,
+    compute: impl FnOnce() -> Result<bool, SolveError>,
+) -> Result<bool, SolveError> {
+    let Some(cache) = cache else {
+        return compute();
+    };
+    let key = key();
+    if let Some(v) = cache.lookup(&key) {
+        cache.note_hit();
+        return Ok(v);
+    }
+    cache.note_miss();
+    let v = compute()?;
+    cache.store(key, v);
+    Ok(v)
+}
+
+/// Check every path, in parallel across `config.threads` workers, returning
+/// per-path verdicts in path-enumeration order.
+///
+/// The wave is deterministic for any thread count. Keys are computed and
+/// deduplicated serially in path order — the first path with a given
+/// canonical form is the *representative* that gets checked; later
+/// label-isomorphic paths count as hits and reuse its verdict. Only the
+/// representatives go to the parallel workers, and their results are
+/// reassembled by index, so the verdicts, cache contents, and hit/miss
+/// counters never depend on scheduling. Errors surface in path order (the
+/// first representative, by path index, that failed).
+fn check_paths_wave(
+    problem: &Problem,
+    arch: &Architecture,
+    paths: &[Vec<NodeId>],
+    config: &RefinementConfig,
+    checker: &RefinementChecker,
+    cache: Option<&RefinementCache>,
+) -> Result<Vec<bool>, SolveError> {
+    let Some(cache) = cache else {
+        return contrarc_par::parallel_map(config.threads, paths.len(), |i| {
+            check_timing_path(problem, arch, &paths[i], checker)
+        })
+        .into_iter()
+        .collect();
+    };
+
+    /// How one path's verdict resolves: already cached, or pending on the
+    /// `j`-th representative of this wave.
+    enum Slot {
+        Known(bool),
+        Pending(usize),
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(paths.len());
+    let mut reps: Vec<usize> = Vec::new();
+    let mut rep_keys: Vec<Vec<u8>> = Vec::new();
+    let mut pending: HashMap<Vec<u8>, usize> = HashMap::new();
+    for (i, path) in paths.iter().enumerate() {
+        let key = path_cache_key(arch, path);
+        if let Some(v) = cache.lookup(&key) {
+            cache.note_hit();
+            slots.push(Slot::Known(v));
+        } else if let Some(&j) = pending.get(&key) {
+            // A serial cached pass would also hit here: the representative's
+            // verdict lands in the cache before this path is reached.
+            cache.note_hit();
+            slots.push(Slot::Pending(j));
+        } else {
+            cache.note_miss();
+            let j = reps.len();
+            pending.insert(key.clone(), j);
+            reps.push(i);
+            rep_keys.push(key);
+            slots.push(Slot::Pending(j));
+        }
+    }
+
+    let computed: Vec<Result<bool, SolveError>> =
+        contrarc_par::parallel_map(config.threads, reps.len(), |j| {
+            check_timing_path(problem, arch, &paths[reps[j]], checker)
+        });
+    for (key, result) in rep_keys.into_iter().zip(&computed) {
+        if let Ok(v) = result {
+            cache.store(key, *v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Known(v) => Ok(v),
+            Slot::Pending(j) => computed[j].clone(),
+        })
+        .collect()
 }
 
 fn refines(model: &CheckModel, checker: &RefinementChecker) -> Result<bool, SolveError> {
@@ -329,6 +628,63 @@ mod tests {
         assert_eq!(v.viewpoint, Viewpoint::Flow);
         assert_eq!(v.scope, ViolationScope::Whole);
         assert!(v.to_string().contains("whole"));
+    }
+
+    #[test]
+    fn cache_replays_verdicts_and_counts_hits() {
+        // Two parallel lines with identical (type, implementation) labels:
+        // the second path is label-isomorphic to the first, so even the
+        // first pass hits once, and a replay hits everywhere.
+        let (p, arch) = two_line_problem(10.0);
+        let cfg = RefinementConfig::default();
+        let checker = RefinementChecker::new();
+        let baseline = check_candidate_all(&p, &arch, &cfg, &checker).unwrap();
+        let cache = RefinementCache::new();
+        let first = check_candidate_all_cached(&p, &arch, &cfg, &checker, Some(&cache)).unwrap();
+        assert_eq!(first, baseline);
+        assert!(cache.misses() > 0);
+        assert!(cache.hits() > 0, "isomorphic sibling path should hit");
+        let misses = cache.misses();
+        let second = check_candidate_all_cached(&p, &arch, &cfg, &checker, Some(&cache)).unwrap();
+        assert_eq!(second, baseline);
+        assert_eq!(cache.misses(), misses, "replay must not re-solve");
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn wave_is_thread_count_invariant() {
+        let (p, arch) = two_line_problem(10.0);
+        let checker = RefinementChecker::new();
+        let baseline =
+            check_candidate_all(&p, &arch, &RefinementConfig::default(), &checker).unwrap();
+        let reference_cache = RefinementCache::new();
+        let _ = check_candidate_all_cached(
+            &p,
+            &arch,
+            &RefinementConfig::default(),
+            &checker,
+            Some(&reference_cache),
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let cfg = RefinementConfig {
+                threads,
+                ..RefinementConfig::default()
+            };
+            // Same violations without a cache...
+            let v = check_candidate_all(&p, &arch, &cfg, &checker).unwrap();
+            assert_eq!(v, baseline, "uncached, threads={threads}");
+            // ... and with one, with bit-identical hit/miss counters.
+            let cache = RefinementCache::new();
+            let v = check_candidate_all_cached(&p, &arch, &cfg, &checker, Some(&cache)).unwrap();
+            assert_eq!(v, baseline, "cached, threads={threads}");
+            assert_eq!(cache.hits(), reference_cache.hits(), "threads={threads}");
+            assert_eq!(
+                cache.misses(),
+                reference_cache.misses(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Label-aware canonical forms for directed graphs.
+//!
+//! [`canonical_form`] computes a byte string that is *identical* for two
+//! labeled digraphs if and only if they are isomorphic (respecting node
+//! labels and edge directions; edge weights are ignored). ContrArc uses it to
+//! key the refinement-verdict cache: isomorphic sub-architectures induce
+//! identical refinement check models, so a verdict computed for one candidate
+//! can be reused for every relabeling of it — see the `RefinementCache` in
+//! `contrarc-core`.
+//!
+//! The algorithm is classic individualization–refinement:
+//!
+//! 1. color nodes by their label bytes;
+//! 2. refine with Weisfeiler–Leman sweeps (a node's new color is its old
+//!    color plus the multisets of its in- and out-neighbor colors) until the
+//!    partition stabilizes;
+//! 3. if cells remain with two or more nodes, individualize each member of
+//!    the lowest-colored such cell in turn and recurse;
+//! 4. every branch ends in a discrete coloring, i.e. a candidate canonical
+//!    ordering; the lexicographically smallest encoding over all branches is
+//!    the canonical form.
+//!
+//! Both the target-cell choice (lowest non-singleton color) and the final
+//! minimum are invariant under relabeling, which is what makes the output
+//! canonical. The search is exponential in the worst case but the graphs this
+//! workload canonicalizes — candidate architectures and path scopes with
+//! near-distinct `(type, implementation)` labels — refine to discrete almost
+//! immediately.
+
+use crate::digraph::DiGraph;
+
+/// The canonical encoding of a labeled digraph. Two graphs have equal forms
+/// exactly when they are isomorphic with matching labels; the byte string is
+/// therefore directly usable as a hash-map key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalForm(Vec<u8>);
+
+impl CanonicalForm {
+    /// The encoding bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consume the form, yielding the encoding bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+/// Compute the canonical form of `graph` under the node labeling `label`
+/// (each node's label rendered as bytes; labels take part in the isomorphism,
+/// edge weights do not).
+#[must_use]
+pub fn canonical_form<N, E, F>(graph: &DiGraph<N, E>, label: F) -> CanonicalForm
+where
+    F: Fn(&N) -> Vec<u8>,
+{
+    let n = graph.num_nodes();
+    let labels: Vec<Vec<u8>> = graph.nodes().map(|(_, w)| label(w)).collect();
+    let mut adj_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut adj_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        adj_out[e.src.index()].push(e.dst.index());
+        adj_in[e.dst.index()].push(e.src.index());
+    }
+
+    // Initial colors: rank of the label bytes.
+    let mut uniq: Vec<&Vec<u8>> = labels.iter().collect();
+    uniq.sort();
+    uniq.dedup();
+    let mut colors: Vec<usize> = labels
+        .iter()
+        .map(|l| uniq.binary_search(&l).expect("label is present"))
+        .collect();
+
+    refine(&mut colors, &adj_out, &adj_in);
+    let mut best: Option<Vec<u8>> = None;
+    search(&colors, &labels, &adj_out, &adj_in, &mut best);
+    CanonicalForm(best.expect("every branch reaches a discrete coloring"))
+}
+
+/// Weisfeiler–Leman color refinement: repeatedly re-rank nodes by
+/// `(color, sorted out-neighbor colors, sorted in-neighbor colors)` until the
+/// partition is stable. Ranking sorts by the old color first, so refinement
+/// only ever splits cells.
+fn refine(colors: &mut Vec<usize>, adj_out: &[Vec<usize>], adj_in: &[Vec<usize>]) {
+    let n = colors.len();
+    loop {
+        let keys: Vec<(usize, Vec<usize>, Vec<usize>)> = (0..n)
+            .map(|v| {
+                let mut out: Vec<usize> = adj_out[v].iter().map(|&u| colors[u]).collect();
+                out.sort_unstable();
+                let mut inc: Vec<usize> = adj_in[v].iter().map(|&u| colors[u]).collect();
+                inc.sort_unstable();
+                (colors[v], out, inc)
+            })
+            .collect();
+        let mut uniq: Vec<&(usize, Vec<usize>, Vec<usize>)> = keys.iter().collect();
+        uniq.sort();
+        uniq.dedup();
+        let new: Vec<usize> = keys
+            .iter()
+            .map(|k| uniq.binary_search(&k).expect("key is present"))
+            .collect();
+        if new == *colors {
+            return;
+        }
+        *colors = new;
+    }
+}
+
+/// The lowest color shared by two or more nodes, if any.
+fn first_non_singleton(colors: &[usize]) -> Option<usize> {
+    let n = colors.len();
+    let mut count = vec![0usize; n];
+    for &c in colors {
+        count[c] += 1;
+    }
+    (0..n).find(|&c| count[c] >= 2)
+}
+
+/// Individualization–refinement search over candidate canonical orderings,
+/// keeping the lexicographically smallest encoding in `best`.
+fn search(
+    colors: &[usize],
+    labels: &[Vec<u8>],
+    adj_out: &[Vec<usize>],
+    adj_in: &[Vec<usize>],
+    best: &mut Option<Vec<u8>>,
+) {
+    match first_non_singleton(colors) {
+        None => {
+            let enc = encode(colors, labels, adj_out);
+            if best.as_ref().is_none_or(|b| enc < *b) {
+                *best = Some(enc);
+            }
+        }
+        Some(cell) => {
+            for v in (0..colors.len()).filter(|&v| colors[v] == cell) {
+                let mut split = colors.to_vec();
+                // A fresh color beyond every rank: the next refine pass
+                // renormalizes it while keeping v separated from its cell.
+                split[v] = colors.len();
+                refine(&mut split, adj_out, adj_in);
+                search(&split, labels, adj_out, adj_in, best);
+            }
+        }
+    }
+}
+
+/// Encode a graph under a discrete coloring (node at canonical position `p`
+/// is the one with color `p`): node count, per-position length-prefixed label
+/// bytes, then the sorted edge list in position space.
+fn encode(colors: &[usize], labels: &[Vec<u8>], adj_out: &[Vec<usize>]) -> Vec<u8> {
+    let n = colors.len();
+    let mut node_at = vec![0usize; n];
+    for (v, &c) in colors.iter().enumerate() {
+        node_at[c] = v;
+    }
+    let mut out = Vec::new();
+    push_u32(&mut out, u32::try_from(n).expect("graph fits in u32"));
+    for &v in &node_at {
+        let l = &labels[v];
+        push_u32(&mut out, u32::try_from(l.len()).expect("label fits in u32"));
+        out.extend_from_slice(l);
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (v, dsts) in adj_out.iter().enumerate() {
+        for &u in dsts {
+            edges.push((colors[v] as u32, colors[u] as u32));
+        }
+    }
+    edges.sort_unstable();
+    push_u32(
+        &mut out,
+        u32::try_from(edges.len()).expect("edges fit in u32"),
+    );
+    for (a, b) in edges {
+        push_u32(&mut out, a);
+        push_u32(&mut out, b);
+    }
+    out
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a labeled digraph from node labels and index edges.
+    fn graph(labels: &[&str], edges: &[(usize, usize)]) -> DiGraph<String, ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = labels
+            .iter()
+            .map(|l| g.add_node((*l).to_string()))
+            .collect();
+        for &(a, b) in edges {
+            g.add_edge(ids[a], ids[b], ());
+        }
+        g
+    }
+
+    fn form(g: &DiGraph<String, ()>) -> CanonicalForm {
+        canonical_form(g, |l| l.clone().into_bytes())
+    }
+
+    #[test]
+    fn permuted_graphs_have_equal_forms() {
+        // s -> m -> t, built in three different node orders.
+        let a = graph(&["s", "m", "t"], &[(0, 1), (1, 2)]);
+        let b = graph(&["t", "s", "m"], &[(1, 2), (2, 0)]);
+        let c = graph(&["m", "t", "s"], &[(2, 0), (0, 1)]);
+        assert_eq!(form(&a), form(&b));
+        assert_eq!(form(&a), form(&c));
+    }
+
+    #[test]
+    fn labels_distinguish() {
+        let a = graph(&["s", "m"], &[(0, 1)]);
+        let b = graph(&["s", "x"], &[(0, 1)]);
+        assert_ne!(form(&a), form(&b));
+    }
+
+    #[test]
+    fn direction_distinguishes() {
+        let a = graph(&["s", "m"], &[(0, 1)]);
+        let b = graph(&["s", "m"], &[(1, 0)]);
+        assert_ne!(form(&a), form(&b));
+    }
+
+    #[test]
+    fn structure_distinguishes() {
+        let path = graph(&["a", "a", "a"], &[(0, 1), (1, 2)]);
+        let cycle = graph(&["a", "a", "a"], &[(0, 1), (1, 2), (2, 0)]);
+        assert_ne!(form(&path), form(&cycle));
+    }
+
+    #[test]
+    fn symmetric_graphs_need_individualization() {
+        // A directed 4-cycle of identical labels has no WL-distinguishable
+        // nodes; the canonical form must still be rotation-invariant.
+        let base = graph(&["a"; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for rot in 1..4 {
+            let edges: Vec<(usize, usize)> =
+                (0..4).map(|i| ((i + rot) % 4, (i + rot + 1) % 4)).collect();
+            let rotated = graph(&["a"; 4], &edges);
+            assert_eq!(form(&base), form(&rotated), "rotation {rot}");
+        }
+        // ... and differ from two disjoint 2-cycles (same degrees/labels).
+        let split = graph(&["a"; 4], &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_ne!(form(&base), form(&split));
+    }
+
+    #[test]
+    fn parallel_edges_are_counted() {
+        let single = graph(&["a", "b"], &[(0, 1)]);
+        let double = graph(&["a", "b"], &[(0, 1), (0, 1)]);
+        assert_ne!(form(&single), form(&double));
+    }
+
+    #[test]
+    fn empty_graph_has_a_form() {
+        let g: DiGraph<String, ()> = DiGraph::new();
+        let f = canonical_form(&g, |l| l.clone().into_bytes());
+        // Node count 0, edge count 0.
+        assert_eq!(f.as_bytes(), [0u8; 8]);
+    }
+
+    #[test]
+    fn random_permutations_agree() {
+        // A mid-size graph with repeated labels, canonicalized under many
+        // node permutations (deterministic LCG; no external RNG).
+        let labels = ["s", "f", "f", "g", "g", "t", "f"];
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (3, 5),
+            (4, 5),
+            (2, 6),
+            (6, 4),
+        ];
+        let reference = form(&graph(&labels, &edges));
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        for trial in 0..20 {
+            // Fisher–Yates with an xorshift step.
+            let mut perm: Vec<usize> = (0..labels.len()).collect();
+            for i in (1..perm.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                perm.swap(i, (state as usize) % (i + 1));
+            }
+            let plabels: Vec<&str> = {
+                let mut v = vec![""; labels.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    v[p] = labels[i];
+                }
+                v
+            };
+            let pedges: Vec<(usize, usize)> =
+                edges.iter().map(|&(a, b)| (perm[a], perm[b])).collect();
+            assert_eq!(
+                reference,
+                form(&graph(&plabels, &pedges)),
+                "permutation trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn form_is_usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut cache: HashMap<CanonicalForm, bool> = HashMap::new();
+        let a = graph(&["s", "m"], &[(0, 1)]);
+        let b = graph(&["m", "s"], &[(1, 0)]); // isomorphic relabeling
+        cache.insert(form(&a), true);
+        assert_eq!(cache.get(&form(&b)), Some(&true));
+    }
+}

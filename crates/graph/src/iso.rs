@@ -107,7 +107,7 @@ where
         return Vec::new();
     }
 
-    let order = matching_order(pattern);
+    let order = matching_order(pattern, target, &compat);
     let mut state = State {
         pattern,
         target,
@@ -120,6 +120,61 @@ where
     };
     state.extend(0);
     state.out
+}
+
+/// [`subgraph_isomorphisms`] with the depth-0 candidate frontier split across
+/// `threads` worker threads (`0` = all available cores, `1` = the serial
+/// enumeration). Each worker enumerates the sub-tree rooted at one candidate
+/// image of the first pattern node; the per-root result lists are concatenated
+/// in candidate order, which is exactly the order the serial backtracker
+/// visits them — the returned embedding list is **identical for every thread
+/// count**.
+#[must_use]
+pub fn subgraph_isomorphisms_par<N1, E1, N2, E2, F>(
+    pattern: &DiGraph<N1, E1>,
+    target: &DiGraph<N2, E2>,
+    mode: MatchMode,
+    threads: usize,
+    compat: F,
+) -> Vec<Embedding>
+where
+    N1: Sync,
+    E1: Sync,
+    N2: Sync,
+    E2: Sync,
+    F: Fn(&N1, &N2) -> bool + Sync,
+{
+    let threads = contrarc_par::effective_threads(threads.max(1));
+    let np = pattern.num_nodes();
+    if threads <= 1 || np == 0 || np > target.num_nodes() {
+        return subgraph_isomorphisms(pattern, target, mode, compat);
+    }
+
+    let order = matching_order(pattern, target, &compat);
+    let root = order[0];
+    // Depth-0 candidates: nothing is mapped yet, so the serial backtracker
+    // scans every target node in id order. Reproduce that list and fan out.
+    let roots: Vec<NodeId> = target.node_ids().collect();
+    let chunks = contrarc_par::parallel_map(threads, roots.len(), |i| {
+        let t = roots[i];
+        let mut state = State {
+            pattern,
+            target,
+            mode,
+            compat: &compat,
+            order: &order,
+            map: vec![None; np],
+            used: vec![false; target.num_nodes()],
+            out: Vec::new(),
+        };
+        if state.feasible(root, t) {
+            state.map[root.index()] = Some(t);
+            state.used[t.index()] = true;
+            state.extend(1);
+        }
+        state.out
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// Whether `pattern` and `target` are isomorphic as directed graphs
@@ -152,7 +207,7 @@ where
     if np > target.num_nodes() {
         return None;
     }
-    let order = matching_order(pattern);
+    let order = matching_order(pattern, target, &compat);
     let mut state = State {
         pattern,
         target,
@@ -167,38 +222,61 @@ where
     state.out.into_iter().next()
 }
 
-/// Order pattern nodes so each node (after the first) touches an
-/// already-ordered node where possible — the key to early pruning.
-fn matching_order<N, E>(pattern: &DiGraph<N, E>) -> Vec<NodeId> {
+/// Order pattern nodes most-constrained-first: each step places the unplaced
+/// node with the fewest label-and-degree-compatible target candidates,
+/// preferring nodes adjacent to the already-placed prefix (so every node
+/// after the first is constrained by a mapped neighbor where the pattern's
+/// connectivity allows). Candidate counts are computed against the *target*,
+/// which is what shrinks the search tree: a pattern node whose label occurs
+/// twice in the target prunes far harder at depth 0 than a high-degree node
+/// whose label is everywhere.
+fn matching_order<N1, E1, N2, E2, F>(
+    pattern: &DiGraph<N1, E1>,
+    target: &DiGraph<N2, E2>,
+    compat: &F,
+) -> Vec<NodeId>
+where
+    F: Fn(&N1, &N2) -> bool,
+{
     let n = pattern.num_nodes();
     let degree = |v: NodeId| pattern.in_degree(v) + pattern.out_degree(v);
+    // Compatible-candidate count per pattern node (label + degree pruning,
+    // mirroring `State::feasible`).
+    let cands: Vec<usize> = (0..n)
+        .map(NodeId::from_index)
+        .map(|p| {
+            target
+                .node_ids()
+                .filter(|&t| {
+                    compat(pattern.node_weight(p), target.node_weight(t))
+                        && pattern.out_degree(p) <= target.out_degree(t)
+                        && pattern.in_degree(p) <= target.in_degree(t)
+                })
+                .count()
+        })
+        .collect();
     let mut placed = vec![false; n];
+    let mut adjacent = vec![false; n];
     let mut order = Vec::with_capacity(n);
-    while order.len() < n {
-        // Seed: highest-degree unplaced node.
-        let seed = (0..n)
-            .map(NodeId::from_index)
-            .filter(|v| !placed[v.index()])
-            .max_by_key(|&v| degree(v))
+    for _ in 0..n {
+        let pick = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| {
+                (
+                    // `false` sorts first: prefer neighbors of the placed
+                    // prefix (vacuously none on the first pick).
+                    !adjacent[i],
+                    cands[i],
+                    std::cmp::Reverse(degree(NodeId::from_index(i))),
+                    i,
+                )
+            })
             .expect("unplaced node exists");
-        placed[seed.index()] = true;
-        order.push(seed);
-        // Grow by connectivity (BFS over both edge directions).
-        let mut frontier = vec![seed];
-        while let Some(v) = frontier.pop() {
-            let mut nbrs: Vec<NodeId> = pattern
-                .successors(v)
-                .chain(pattern.predecessors(v))
-                .filter(|u| !placed[u.index()])
-                .collect();
-            nbrs.sort_by_key(|&u| std::cmp::Reverse(degree(u)));
-            for u in nbrs {
-                if !placed[u.index()] {
-                    placed[u.index()] = true;
-                    order.push(u);
-                    frontier.push(u);
-                }
-            }
+        placed[pick] = true;
+        let v = NodeId::from_index(pick);
+        order.push(v);
+        for u in pattern.successors(v).chain(pattern.predecessors(v)) {
+            adjacent[u.index()] = true;
         }
     }
     order
@@ -489,6 +567,74 @@ mod tests {
         let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
         // Injective maps from 2 slots into 3 nodes: 3·2 = 6.
         assert_eq!(found.len(), 6);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_serial_exactly() {
+        // Same embeddings in the same order for every thread count, on a
+        // symmetric target where many roots succeed.
+        let pat = path_graph(&["s", "m", "t"]);
+        let mut tgt = DiGraph::new();
+        for _ in 0..5 {
+            let ids: Vec<_> = ["s", "m", "t"].iter().map(|&l| tgt.add_node(l)).collect();
+            tgt.add_edge(ids[0], ids[1], ());
+            tgt.add_edge(ids[1], ids[2], ());
+        }
+        // Extra cross edges so monomorphisms multiply.
+        tgt.add_edge(NodeId::from_index(1), NodeId::from_index(5), ());
+        let serial = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert!(serial.len() >= 6);
+        for threads in [1usize, 2, 4, 8] {
+            let par =
+                subgraph_isomorphisms_par(&pat, &tgt, MatchMode::Monomorphism, threads, label_eq);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_trivial_patterns() {
+        let empty: DiGraph<&str, ()> = DiGraph::new();
+        let tgt = path_graph(&["a", "b"]);
+        let found = subgraph_isomorphisms_par(&empty, &tgt, MatchMode::Monomorphism, 4, label_eq);
+        assert_eq!(found.len(), 1);
+        let big = path_graph(&["a", "b", "c"]);
+        assert!(
+            subgraph_isomorphisms_par(&big, &tgt, MatchMode::Monomorphism, 4, label_eq).is_empty()
+        );
+    }
+
+    #[test]
+    fn matching_order_is_most_constrained_first() {
+        // Pattern: hub "h" with spokes "s", "s", "r". The "r" spoke has one
+        // compatible target node; the hub's label has three. The order must
+        // start at "r" (rarest), not at the highest-degree hub.
+        let mut pat: DiGraph<&str, ()> = DiGraph::new();
+        let hub = pat.add_node("h");
+        let s1 = pat.add_node("s");
+        let s2 = pat.add_node("s");
+        let rare = pat.add_node("r");
+        for s in [s1, s2, rare] {
+            pat.add_edge(hub, s, ());
+        }
+        let mut tgt: DiGraph<&str, ()> = DiGraph::new();
+        for _ in 0..3 {
+            let th = tgt.add_node("h");
+            for _ in 0..4 {
+                let ts = tgt.add_node("s");
+                tgt.add_edge(th, ts, ());
+            }
+        }
+        let tr = tgt.add_node("r");
+        tgt.add_edge(NodeId::from_index(0), tr, ());
+        let order = matching_order(&pat, &tgt, &label_eq);
+        assert_eq!(order[0], rare, "rarest-label node must lead the order");
+        // Connectivity still holds: the hub (rare's only neighbor) is next.
+        assert_eq!(order[1], hub);
+        // And the match set is unaffected: exactly the embeddings using the
+        // one hub that feeds "r" (2 ways to place the two "s" spokes on that
+        // hub's 4 spokes in order: 4·3 = 12).
+        let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(found.len(), 12);
     }
 
     #[test]

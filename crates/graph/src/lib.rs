@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 mod digraph;
 pub mod dot;
 pub mod iso;
@@ -44,5 +45,6 @@ pub mod paths;
 pub mod scc;
 pub mod topo;
 
+pub use canon::{canonical_form, CanonicalForm};
 pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId};
 pub use iso::{Embedding, MatchMode};

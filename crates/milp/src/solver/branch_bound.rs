@@ -1,29 +1,86 @@
 //! Best-bound branch-and-bound over the simplex LP relaxation.
+//!
+//! # Parallelism and determinism
+//!
+//! With [`SolveOptions::threads`] > 1 the solver runs **speculative node
+//! prefetch with serial commit**: the main loop pops nodes in exactly the
+//! serial best-bound order (the heap order is made *total* via a per-node
+//! sequence number, so ties never depend on insertion history), but whenever
+//! the popped node's LP relaxation has not been evaluated yet, a *wave* of
+//! LPs — the popped node plus up to `2·threads − 1` best-bound peers peeked
+//! from the heap — is solved concurrently on a work-stealing pool and cached
+//! by node sequence number. The peeked nodes are pushed back untouched.
+//!
+//! Because an LP relaxation depends only on the node's bounds (never on the
+//! incumbent or on sibling results), a cached evaluation is bit-for-bit the
+//! one the serial solver would have computed, so the *committed* trajectory —
+//! branching decisions, incumbents, node/pivot statistics, and the final
+//! optimum — is identical for every thread count. Speculation can only waste
+//! work (a prefetched node later pruned), never change the answer.
+//!
+//! The one observable difference under a finite [`Budget`]: speculative
+//! pivots are charged to the shared allowance when they happen, so the exact
+//! point of budget exhaustion may shift with the thread count. Exhaustion
+//! still surfaces as the same `Err` kinds and callers degrade to partial
+//! results exactly as in serial mode.
+//!
+//! [`Budget`]: crate::solver::budget::Budget
 
 use crate::error::SolveError;
 use crate::model::Model;
 use crate::presolve;
 use crate::solution::{Outcome, Solution, SolveStats};
+use crate::solver::budget::Deadline;
 use crate::solver::{BasisSnapshot, LpOutcome, Simplex, SolveOptions};
 use crate::standard_form::StandardForm;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A subproblem: the root bounds plus the branching tightenings, stored as
-/// full vectors (problems in this workload have at most a few thousand
-/// variables, so cloning is cheap relative to an LP solve).
+/// One branching tightening relative to the parent node.
+#[derive(Debug, Clone, Copy)]
+enum BranchStep {
+    /// `x[var] ≤ value` (down branch).
+    Upper { var: usize, value: f64 },
+    /// `x[var] ≥ value` (up branch).
+    Lower { var: usize, value: f64 },
+}
+
+/// A subproblem, stored as the *delta* from the shared root bounds: the chain
+/// of branching steps on the path from the root to this node. Materializing
+/// the full bound vectors costs one clone of the root bounds at pop time;
+/// nodes that are pruned before being processed never materialize at all.
+/// This keeps pushing children O(depth) instead of O(vars).
 #[derive(Debug, Clone)]
 struct Node {
-    lbs: Vec<f64>,
-    ubs: Vec<f64>,
+    steps: Vec<BranchStep>,
     /// LP bound of the *parent* (minimization space); used for best-first
     /// ordering before this node's own relaxation is solved.
     bound: f64,
     depth: u32,
+    /// Creation sequence number: unique, assigned in (deterministic) push
+    /// order. Makes the heap order total so that popping is insertion-history
+    /// independent — the property that lets the parallel prefetch pop-peek
+    /// nodes and push them back without perturbing the trajectory.
+    seq: u64,
     /// Parent's optimal basis, for dual-simplex warm starts.
     warm: Option<Arc<BasisSnapshot>>,
+}
+
+impl Node {
+    /// Rebuild this node's full bound vectors from the shared root bounds.
+    fn materialize(&self, root_lbs: &[f64], root_ubs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut lbs = root_lbs.to_vec();
+        let mut ubs = root_ubs.to_vec();
+        for step in &self.steps {
+            match *step {
+                BranchStep::Upper { var, value } => ubs[var] = value,
+                BranchStep::Lower { var, value } => lbs[var] = value,
+            }
+        }
+        (lbs, ubs)
+    }
 }
 
 /// Max-heap entry ordered so the smallest bound pops first.
@@ -31,7 +88,7 @@ struct HeapEntry(Node);
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.0.bound == other.0.bound
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -43,13 +100,131 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the lowest bound first;
-        // break ties toward deeper nodes (cheap plunging).
+        // break ties toward deeper nodes (cheap plunging), then toward the
+        // earlier-created node. The final tie-break makes the order *total*,
+        // so the pop sequence is a pure function of the heap's contents.
         other
             .0
             .bound
             .partial_cmp(&self.0.bound)
             .unwrap_or(Ordering::Equal)
             .then_with(|| self.0.depth.cmp(&other.0.depth))
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// The outcome of one node's LP relaxation, cacheable by node sequence
+/// number. `pivots` is recorded even when the solve errored so committed
+/// statistics match the serial trajectory exactly.
+struct NodeEval {
+    pivots: u64,
+    result: Result<(LpOutcome, Option<Arc<BasisSnapshot>>), SolveError>,
+}
+
+/// Solve one node's LP relaxation (with optional dual-simplex warm start) and
+/// charge its pivots to the shared budget. Pure in the node's bounds: safe to
+/// run speculatively on any thread.
+fn eval_node(
+    sf_root: &StandardForm,
+    lbs: &[f64],
+    ubs: &[f64],
+    warm: Option<&BasisSnapshot>,
+    opts: &SolveOptions,
+    deadline: Deadline,
+) -> NodeEval {
+    let sf = sf_root.rebind(lbs, ubs);
+    let mut simplex = Simplex::new(&sf, opts).with_deadline(deadline);
+    let lp_result = match warm {
+        Some(snap) if opts.warm_start => match simplex.solve_warm(snap) {
+            Ok(Some(outcome)) => Ok(outcome),
+            Ok(None) => {
+                // Unusable snapshot: cold start on a fresh state.
+                simplex = Simplex::new(&sf, opts).with_deadline(deadline);
+                simplex.solve()
+            }
+            Err(e) => Err(e),
+        },
+        _ => simplex.solve(),
+    };
+    let pivots = simplex.pivots;
+    let charged = opts.budget.charge_pivots(simplex.take_uncharged_pivots());
+    let snapshot = match &lp_result {
+        Ok(LpOutcome::Optimal { .. }) => simplex.snapshot().map(Arc::new),
+        _ => None,
+    };
+    // Budget exhaustion takes precedence over the LP outcome, matching the
+    // serial control flow (charge first, then inspect the LP result).
+    let result = match charged {
+        Err(e) => Err(e),
+        Ok(()) => lp_result.map(|lp| (lp, snapshot)),
+    };
+    NodeEval { pivots, result }
+}
+
+/// A materialized unit of speculative work.
+struct WaveItem {
+    seq: u64,
+    lbs: Vec<f64>,
+    ubs: Vec<f64>,
+    warm: Option<Arc<BasisSnapshot>>,
+}
+
+/// Evaluate the committed node plus up to `2·threads − 1` best-bound peers in
+/// parallel, caching every result by sequence number. Peeked peers are pushed
+/// back; the total heap order guarantees the pop sequence is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_wave(
+    heap: &mut BinaryHeap<HeapEntry>,
+    current: &Node,
+    current_bounds: (&[f64], &[f64]),
+    incumbent_min: Option<f64>,
+    cache: &mut HashMap<u64, NodeEval>,
+    sf_root: &StandardForm,
+    root_lbs: &[f64],
+    root_ubs: &[f64],
+    opts: &SolveOptions,
+    deadline: Deadline,
+    threads: usize,
+) {
+    let mut work: Vec<WaveItem> = Vec::with_capacity(2 * threads);
+    work.push(WaveItem {
+        seq: current.seq,
+        lbs: current_bounds.0.to_vec(),
+        ubs: current_bounds.1.to_vec(),
+        warm: current.warm.clone(),
+    });
+
+    // Peek best-bound peers, skipping nodes that are already cached or would
+    // be pruned against the current incumbent anyway. Cap the pops so a heap
+    // full of prunable nodes cannot make peeking quadratic.
+    let mut parked: Vec<Node> = Vec::new();
+    let max_pops = 8 * threads;
+    while work.len() < 2 * threads && parked.len() < max_pops {
+        let Some(HeapEntry(peer)) = heap.pop() else {
+            break;
+        };
+        let prunable = incumbent_min.is_some_and(|inc| peer.bound >= inc - opts.abs_gap);
+        if !prunable && !cache.contains_key(&peer.seq) {
+            let (lbs, ubs) = peer.materialize(root_lbs, root_ubs);
+            work.push(WaveItem {
+                seq: peer.seq,
+                lbs,
+                ubs,
+                warm: peer.warm.clone(),
+            });
+        }
+        parked.push(peer);
+    }
+
+    let evals = contrarc_par::parallel_map(threads, work.len(), |i| {
+        let w = &work[i];
+        eval_node(sf_root, &w.lbs, &w.ubs, w.warm.as_deref(), opts, deadline)
+    });
+    for (w, eval) in work.iter().zip(evals) {
+        cache.insert(w.seq, eval);
+    }
+    for peer in parked {
+        heap.push(HeapEntry(peer));
     }
 }
 
@@ -62,6 +237,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         .budget
         .deadline()
         .tightened_by_secs(opts.time_limit_secs);
+    let threads = contrarc_par::effective_threads(opts.threads.max(1));
     let mut stats = SolveStats::default();
 
     // Presolve: detect trivial infeasibility and tighten bounds.
@@ -95,14 +271,18 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     // Build (and equilibrate) the matrix once; nodes only rebind bounds.
     let sf_root = StandardForm::build(model, Some((&root_lbs, &root_ubs)));
 
+    let mut next_seq: u64 = 0;
     let mut heap = BinaryHeap::new();
     heap.push(HeapEntry(Node {
-        lbs: root_lbs,
-        ubs: root_ubs,
+        steps: Vec::new(),
         bound: f64::NEG_INFINITY,
         depth: 0,
+        seq: next_seq,
         warm: None,
     }));
+    next_seq += 1;
+    // Speculative LP evaluations keyed by node sequence number.
+    let mut eval_cache: HashMap<u64, NodeEval> = HashMap::new();
 
     // (values, min-space obj, model-sense obj)
     let mut incumbent: Option<(Vec<f64>, f64, f64)> = None;
@@ -133,33 +313,40 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         // Bound-based pruning against the incumbent.
         if let Some((_, inc, _)) = &incumbent {
             if node.bound >= *inc - opts.abs_gap {
+                eval_cache.remove(&node.seq);
                 continue;
             }
         }
         stats.nodes += 1;
         opts.budget.charge_nodes(1)?;
 
-        let sf = sf_root.rebind(&node.lbs, &node.ubs);
-        let mut simplex = Simplex::new(&sf, opts).with_deadline(deadline);
-        let lp_result = match node.warm.as_deref() {
-            Some(snap) if opts.warm_start => match simplex.solve_warm(snap) {
-                Ok(Some(outcome)) => Ok(outcome),
-                Ok(None) => {
-                    // Unusable snapshot: cold start on a fresh state.
-                    simplex = Simplex::new(&sf, opts).with_deadline(deadline);
-                    simplex.solve()
-                }
-                Err(e) => Err(e),
-            },
-            _ => simplex.solve(),
+        let (lbs, ubs) = node.materialize(&root_lbs, &root_ubs);
+        let eval = match eval_cache.remove(&node.seq) {
+            Some(eval) => eval,
+            None if threads > 1 => {
+                prefetch_wave(
+                    &mut heap,
+                    &node,
+                    (&lbs, &ubs),
+                    incumbent.as_ref().map(|(_, inc, _)| *inc),
+                    &mut eval_cache,
+                    &sf_root,
+                    &root_lbs,
+                    &root_ubs,
+                    opts,
+                    deadline,
+                    threads,
+                );
+                eval_cache
+                    .remove(&node.seq)
+                    .expect("wave always evaluates the committed node")
+            }
+            None => eval_node(&sf_root, &lbs, &ubs, node.warm.as_deref(), opts, deadline),
         };
-        stats.simplex_iterations += simplex.pivots;
-        opts.budget.charge_pivots(simplex.take_uncharged_pivots())?;
-        let lp = lp_result?;
-        let node_snapshot = match &lp {
-            LpOutcome::Optimal { .. } => simplex.snapshot().map(Arc::new),
-            _ => None,
-        };
+        // Only *committed* evaluations count toward statistics, so the stats
+        // are identical for every thread count.
+        stats.simplex_iterations += eval.pivots;
+        let (lp, node_snapshot) = eval.result?;
         let (values, min_obj) = match lp {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
@@ -190,11 +377,11 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                 // through big-M constraints (M·int_tol can exceed the
                 // constraint margin), so verify by fixing every integer to
                 // its rounded value and re-solving the LP exactly.
-                let mut lbs_fix = node.lbs.clone();
-                let mut ubs_fix = node.ubs.clone();
+                let mut lbs_fix = lbs.clone();
+                let mut ubs_fix = ubs.clone();
                 let mut exact = true;
                 for &vi in &int_vars {
-                    let r = values[vi].round().clamp(node.lbs[vi], node.ubs[vi]);
+                    let r = values[vi].round().clamp(lbs[vi], ubs[vi]);
                     if (values[vi] - r).abs() > 1e-12 {
                         exact = false;
                     }
@@ -202,7 +389,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                     ubs_fix[vi] = r;
                 }
                 if exact {
-                    incumbent = Some((values, min_obj, sf.model_objective(min_obj)));
+                    incumbent = Some((values, min_obj, sf_root.model_objective(min_obj)));
                     if reached_floor(&incumbent) {
                         break;
                     }
@@ -239,11 +426,13 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                                 push_children(
                                     &mut heap,
                                     &node,
+                                    (&lbs, &ubs),
                                     vi,
                                     x,
                                     min_obj,
                                     opts,
                                     &node_snapshot,
+                                    &mut next_seq,
                                 );
                             }
                         }
@@ -255,11 +444,13 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                                 push_children(
                                     &mut heap,
                                     &node,
+                                    (&lbs, &ubs),
                                     vi,
                                     x,
                                     min_obj,
                                     opts,
                                     &node_snapshot,
+                                    &mut next_seq,
                                 );
                             }
                         }
@@ -271,7 +462,17 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                 }
             }
             Some((vi, x)) => {
-                push_children(&mut heap, &node, vi, x, min_obj, opts, &node_snapshot);
+                push_children(
+                    &mut heap,
+                    &node,
+                    (&lbs, &ubs),
+                    vi,
+                    x,
+                    min_obj,
+                    opts,
+                    &node_snapshot,
+                    &mut next_seq,
+                );
             }
         }
     }
@@ -315,38 +516,52 @@ fn most_fractional(
     best
 }
 
-/// Push the down (`x ≤ ⌊v⌋`) and up (`x ≥ ⌊v⌋+1`) children of a node.
+/// Push the down (`x ≤ ⌊v⌋`) and up (`x ≥ ⌊v⌋+1`) children of a node. Each
+/// child extends the parent's branching chain by one step; `bounds` is the
+/// parent's materialized bounds, used only for child-feasibility checks.
+#[allow(clippy::too_many_arguments)]
 fn push_children(
     heap: &mut BinaryHeap<HeapEntry>,
     node: &Node,
+    bounds: (&[f64], &[f64]),
     vi: usize,
     x: f64,
     bound: f64,
     opts: &SolveOptions,
     warm: &Option<Arc<BasisSnapshot>>,
+    next_seq: &mut u64,
 ) {
+    let (lbs, ubs) = bounds;
     let floor = x.floor();
-    if floor >= node.lbs[vi] - opts.int_tol {
-        let mut ubs = node.ubs.clone();
-        ubs[vi] = floor;
+    if floor >= lbs[vi] - opts.int_tol {
+        let mut steps = node.steps.clone();
+        steps.push(BranchStep::Upper {
+            var: vi,
+            value: floor,
+        });
         heap.push(HeapEntry(Node {
-            lbs: node.lbs.clone(),
-            ubs,
+            steps,
             bound,
             depth: node.depth + 1,
+            seq: *next_seq,
             warm: warm.clone(),
         }));
+        *next_seq += 1;
     }
-    if floor + 1.0 <= node.ubs[vi] + opts.int_tol {
-        let mut lbs = node.lbs.clone();
-        lbs[vi] = floor + 1.0;
+    if floor + 1.0 <= ubs[vi] + opts.int_tol {
+        let mut steps = node.steps.clone();
+        steps.push(BranchStep::Lower {
+            var: vi,
+            value: floor + 1.0,
+        });
         heap.push(HeapEntry(Node {
-            lbs,
-            ubs: node.ubs.clone(),
+            steps,
             bound,
             depth: node.depth + 1,
+            seq: *next_seq,
             warm: warm.clone(),
         }));
+        *next_seq += 1;
     }
 }
 
@@ -374,6 +589,7 @@ fn presolve_bounds(model: &Model, opts: &SolveOptions) -> Option<(Vec<f64>, Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::budget::Budget;
     use crate::{Cmp, LinExpr, Model, Sense};
 
     fn solve_default(m: &Model) -> Outcome {
@@ -631,5 +847,136 @@ mod tests {
         // No objective.
         let out = solve_default(&m);
         assert!(out.is_feasible());
+    }
+
+    /// A knapsack family that requires branching, for the parallel tests.
+    fn branching_knapsack(seed: u64) -> Model {
+        let mut m = Model::new("par");
+        let n = 12;
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        let w: LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| LinExpr::term(v, 5.0 + ((seed + i as u64 * 7) % 19) as f64))
+            .sum();
+        let val: LinExpr = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| LinExpr::term(v, 2.0 + ((seed * 3 + i as u64 * 5) % 29) as f64))
+            .sum();
+        m.add_constr("cap", w, Cmp::Le, 70.0).unwrap();
+        m.set_objective(Sense::Maximize, val);
+        m
+    }
+
+    #[test]
+    fn parallel_trajectory_is_bit_for_bit_serial() {
+        // The speculative prefetch must not change the committed trajectory:
+        // same objective bits, same values, same node and pivot counts for
+        // every thread count.
+        for seed in 0..6u64 {
+            let m = branching_knapsack(seed);
+            let serial = solve(&m, &SolveOptions::default()).unwrap();
+            let (ser_sol, ser_stats) = match &serial {
+                Outcome::Optimal { solution, stats } => (solution, stats),
+                other => panic!("unexpected outcome {other:?}"),
+            };
+            for threads in [2usize, 4, 8] {
+                let opts = SolveOptions {
+                    threads,
+                    ..SolveOptions::default()
+                };
+                let par = solve(&m, &opts).unwrap();
+                let (par_sol, par_stats) = match &par {
+                    Outcome::Optimal { solution, stats } => (solution, stats),
+                    other => panic!("unexpected outcome {other:?}"),
+                };
+                assert_eq!(
+                    ser_sol.objective().to_bits(),
+                    par_sol.objective().to_bits(),
+                    "seed {seed} threads {threads}: objective drifted"
+                );
+                assert_eq!(
+                    ser_sol.values(),
+                    par_sol.values(),
+                    "seed {seed} threads {threads}: values drifted"
+                );
+                assert_eq!(
+                    ser_stats.nodes, par_stats.nodes,
+                    "seed {seed} threads {threads}: node count drifted"
+                );
+                assert_eq!(
+                    ser_stats.simplex_iterations, par_stats.simplex_iterations,
+                    "seed {seed} threads {threads}: pivot count drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_is_an_error_not_a_panic() {
+        // A pivot budget far too small to finish must surface as a limit
+        // error from the parallel path, exactly like the serial one.
+        let m = branching_knapsack(1);
+        let opts = SolveOptions {
+            threads: 4,
+            budget: Budget::unlimited().with_pivot_limit(3),
+            ..SolveOptions::default()
+        };
+        match solve(&m, &opts) {
+            Err(SolveError::IterationLimit { limit: 3 }) => {}
+            other => panic!("expected pivot-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_nodes_materialize_branch_chain() {
+        let node = Node {
+            steps: vec![
+                BranchStep::Upper { var: 1, value: 3.0 },
+                BranchStep::Lower { var: 0, value: 2.0 },
+                BranchStep::Upper { var: 1, value: 1.0 },
+            ],
+            bound: 0.0,
+            depth: 3,
+            seq: 7,
+            warm: None,
+        };
+        let (lbs, ubs) = node.materialize(&[0.0, 0.0, 0.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(lbs, vec![2.0, 0.0, 0.0]);
+        // Later steps override earlier ones on the same variable.
+        assert_eq!(ubs, vec![5.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn heap_order_is_total_and_reinsertion_stable() {
+        // Popping k entries and pushing them back must not change the pop
+        // sequence — the invariant the speculative prefetch relies on.
+        let mk = |bound: f64, depth: u32, seq: u64| {
+            HeapEntry(Node {
+                steps: Vec::new(),
+                bound,
+                depth,
+                seq,
+                warm: None,
+            })
+        };
+        let entries = [
+            (1.0, 1, 4),
+            (1.0, 1, 2),
+            (0.5, 0, 1),
+            (1.0, 2, 3),
+            (2.0, 0, 0),
+        ];
+        let mut heap: BinaryHeap<HeapEntry> =
+            entries.iter().map(|&(b, d, s)| mk(b, d, s)).collect();
+        // Peek three, push back, then drain.
+        let peeked: Vec<_> = (0..3).map(|_| heap.pop().unwrap()).collect();
+        for e in peeked {
+            heap.push(e);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.0.seq)).collect();
+        // Lowest bound first; ties deeper-first, then earlier seq.
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
     }
 }

@@ -64,6 +64,13 @@ pub struct SolveOptions {
     /// exploration sets this to the previous iteration's optimum, which is
     /// valid because certificate cuts only ever remove solutions.
     pub objective_floor: Option<f64>,
+    /// Worker threads for speculative branch-and-bound node evaluation.
+    /// `1` (the default) is the fully serial solver; `0` means "use every
+    /// available core". Any value yields the same optimum, branching
+    /// trajectory, and statistics (speculative prefetch with serial commit;
+    /// see the `branch_bound` module docs) — only wall-clock and, under a
+    /// finite [`Budget`], the exact exhaustion point vary.
+    pub threads: usize,
     /// Deterministic fault schedule for resilience testing; `None` disables
     /// injection. Only present with the `fault-injection` feature.
     #[cfg(feature = "fault-injection")]
@@ -85,6 +92,7 @@ impl Default for SolveOptions {
             presolve: true,
             warm_start: false,
             objective_floor: None,
+            threads: 1,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -103,6 +111,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Options with a worker-thread count (`0` = all available cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -1,0 +1,152 @@
+//! # contrarc-par
+//!
+//! Deterministic parallelism utilities shared by the ContrArc workspace.
+//!
+//! This build environment has no crates.io access, so `rayon` is not
+//! available; this crate provides the small slice of its functionality the
+//! exploration engine needs, built on `std::thread::scope`:
+//!
+//! * [`available_parallelism`] — the machine's logical core count;
+//! * [`effective_threads`] — clamp a requested thread count to something
+//!   sensible (`0` means "ask the OS");
+//! * [`parallel_map`] — evaluate a pure indexed function over `0..len` on a
+//!   work-stealing pool of scoped workers and return the results **in index
+//!   order**, so every reduction over the output is schedule-independent by
+//!   construction.
+//!
+//! The work-stealing scheme is a single shared atomic cursor: each worker
+//! claims the next unclaimed index when it finishes its current one, so fast
+//! workers naturally steal the items slow workers never reached. Results land
+//! in per-index slots, which makes the output independent of which worker
+//! computed what — the foundation of the engine-wide determinism contract
+//! (see DESIGN.md, "Concurrency and determinism").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of logical cores the OS reports, with a floor of 1.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolve a requested thread count: `0` means "use every available core",
+/// anything else is taken literally (with a floor of 1).
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested.max(1)
+    }
+}
+
+/// Evaluate `f(i)` for every `i in 0..len` and return the results in index
+/// order.
+///
+/// With `threads <= 1` (or a single item) this is a plain sequential loop —
+/// bit-for-bit the behaviour a serial caller would implement. With more
+/// threads, `min(threads, len)` scoped workers pull indices from a shared
+/// atomic cursor (work stealing) and write into per-index slots, so the
+/// returned vector is identical regardless of scheduling.
+///
+/// `f` must be safe to call concurrently from several threads; it receives
+/// only the index, so all captured state is shared immutably (or through its
+/// own synchronization, e.g. atomics).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index computed")
+        })
+        .collect()
+}
+
+/// The index of the first `Some` in an index-ordered sequence of optional
+/// results, with its value — the canonical "first hit wins" reduction for
+/// outputs of [`parallel_map`]. Deterministic because it depends only on the
+/// index order, never on completion order.
+#[must_use]
+pub fn first_some<R>(results: Vec<Option<R>>) -> Option<(usize, R)> {
+    results
+        .into_iter()
+        .enumerate()
+        .find_map(|(i, r)| r.map(|v| (i, v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let f = |i: usize| i * i + 1;
+        let serial = parallel_map(1, 100, f);
+        for t in [2, 4, 8] {
+            assert_eq!(parallel_map(t, 100, f), serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(4, 57, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+        assert_eq!(out, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+        assert_eq!(effective_threads(1), 1);
+    }
+
+    #[test]
+    fn first_some_picks_lowest_index() {
+        let v: Vec<Option<u32>> = vec![None, Some(10), None, Some(20)];
+        assert_eq!(first_some(v), Some((1, 10)));
+        assert_eq!(first_some(Vec::<Option<u32>>::new()), None);
+    }
+}

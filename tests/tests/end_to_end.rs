@@ -111,6 +111,7 @@ fn returned_architecture_passes_independent_recheck() {
         let cfg = RefinementConfig {
             compositional,
             max_paths: 1000,
+            ..RefinementConfig::default()
         };
         let v = check_candidate(&p, arch, &cfg, &RefinementChecker::new()).unwrap();
         assert!(
