@@ -2,16 +2,25 @@
 //!
 //! Explores a small RPL instance at `threads = 1` (the serial baseline) and
 //! `threads = 0` (every available core) and writes `BENCH_explore.json`
-//! recording per-phase wall-clock times, the refinement-cache hit rate, and
-//! the parallel speedup. CI runs this as a smoke check that the parallel
-//! engine reproduces the serial optimum; the speedup figure is only
-//! meaningful on a multi-core runner, so the core count is recorded next to
-//! it.
+//! recording per-phase wall-clock times, the refinement-cache hit rate, the
+//! parallel speedup, a metrics block (counters and histograms from the
+//! observability registry), and the measured `NoopSink` overhead ratio. CI
+//! runs this as a smoke check that the parallel engine reproduces the serial
+//! optimum; the speedup figure is only meaningful on a multi-core runner, so
+//! the core count is recorded next to it.
 //!
-//! Usage: `explore_bench [output-path]` (default `BENCH_explore.json`).
+//! Usage: `explore_bench [--trace-folded] [output-path]`
+//! (default `BENCH_explore.json`).
+//!
+//! `--trace-folded` prints flamegraph.pl-compatible collapsed stacks for the
+//! two runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
+//! `CONTRARC_TRACE=path.jsonl` writes the full JSONL trace instead.
 
 use contrarc::{explore, ExplorationStats, ExplorerConfig};
+use contrarc_obs::event;
+use contrarc_obs::sinks::{CollapsedStackSink, NoopSink};
 use contrarc_systems::rpl::{build, RplConfig, RplLines};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Run {
@@ -84,15 +93,52 @@ fn json_run(r: &Run) -> String {
     )
 }
 
+/// Minimum wall-clock over `runs` serial explorations.
+fn min_wall(runs: usize) -> f64 {
+    (0..runs)
+        .map(|_| run_once(1).wall_secs)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measure the `NoopSink` overhead: serial exploration with no sink at all
+/// versus with a `NoopSink` installed (which keeps the disabled fast path —
+/// one relaxed atomic load per site). Returns `min(noop) / min(bare)`.
+fn measure_noop_overhead() -> (f64, f64, f64) {
+    let previous = contrarc_obs::uninstall_sink();
+    let bare = min_wall(2);
+    let noop = contrarc_obs::with_sink(Arc::new(NoopSink), || min_wall(2));
+    if let Some(sink) = previous {
+        contrarc_obs::install_sink(sink);
+    }
+    (noop / bare.max(1e-12), bare, noop)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+    let mut trace_folded = false;
+    let mut out_path = "BENCH_explore.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--trace-folded" {
+            trace_folded = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let folded_sink = if trace_folded {
+        let sink = Arc::new(CollapsedStackSink::default());
+        contrarc_obs::install_sink(Arc::<CollapsedStackSink>::clone(&sink));
+        Some(sink)
+    } else {
+        contrarc_bench::init_bin_tracing();
+        None
+    };
 
     // Serial baseline first, then all cores; warm-up runs excluded on
-    // purpose — this is a smoke check, not a statistical benchmark.
-    let serial = run_once(1);
-    let parallel = run_once(0);
+    // purpose — this is a smoke check, not a statistical benchmark. The
+    // metrics registry is enabled around both runs and its snapshot embedded
+    // in the report.
+    let ((serial, parallel), metrics) =
+        contrarc_obs::metrics::with_metrics(|| (run_once(1), run_once(0)));
 
     assert_eq!(
         serial.cost.to_bits(),
@@ -102,6 +148,14 @@ fn main() {
     assert_eq!(serial.stats.iterations, parallel.stats.iterations);
     assert_eq!(serial.stats.cuts_added, parallel.stats.cuts_added);
 
+    // Overhead guard: an installed NoopSink must be free (within noise).
+    let (noop_ratio, bare_secs, noop_secs) = measure_noop_overhead();
+    assert!(
+        noop_ratio < 1.05 || (noop_secs - bare_secs).abs() < 0.05,
+        "NoopSink overhead out of bounds: bare {bare_secs:.3}s vs noop {noop_secs:.3}s \
+         (ratio {noop_ratio:.3})"
+    );
+
     let speedup = serial.wall_secs / parallel.wall_secs.max(1e-12);
     let json = format!(
         concat!(
@@ -109,21 +163,32 @@ fn main() {
             "  \"case\": \"rpl-default-both\",\n",
             "  \"cores\": {},\n",
             "  \"speedup_serial_over_max_threads\": {:.4},\n",
+            "  \"noop_overhead_ratio\": {:.4},\n",
+            "  \"metrics\": {},\n",
             "  \"runs\": [\n{},\n{}\n  ]\n",
             "}}\n"
         ),
         contrarc_par::available_parallelism(),
         speedup,
+        noop_ratio,
+        metrics.to_json(),
         json_run(&serial),
         json_run(&parallel),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
-    eprintln!(
-        "explore_bench: serial {:.3}s, max-threads {:.3}s ({} cores, speedup {:.2}x) -> {}",
-        serial.wall_secs,
-        parallel.wall_secs,
-        contrarc_par::available_parallelism(),
-        speedup,
-        out_path
+
+    if let Some(sink) = folded_sink {
+        // Collapsed stacks on stdout, ready for flamegraph.pl.
+        print!("{}", sink.folded());
+    }
+    event!(
+        "explore_bench.done",
+        serial_secs = serial.wall_secs,
+        parallel_secs = parallel.wall_secs,
+        cores = contrarc_par::available_parallelism(),
+        speedup = speedup,
+        noop_overhead_ratio = noop_ratio,
+        out = out_path,
     );
+    contrarc_obs::flush_sink();
 }

@@ -1,11 +1,17 @@
 //! Diagnostic probe for exploration performance (not part of the paper).
 //! Usage: probe [lineA|both] [warm|cold] [iso|noiso] [comp|mono] [n]
+//!
+//! Progress is reported through the structured event API: by default a
+//! stderr pretty-printer renders each event, and `CONTRARC_TRACE=path.jsonl`
+//! redirects the full span/event stream to a JSONL trace instead.
 
 use contrarc::{Explorer, ExplorerConfig, Step};
+use contrarc_obs::event;
 use contrarc_systems::rpl::{build, RplConfig, RplLines};
 use std::time::Instant;
 
 fn main() {
+    contrarc_bench::init_bin_tracing();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let lines = if args.first().map(String::as_str) == Some("both") {
         RplLines::Both
@@ -33,23 +39,27 @@ fn main() {
             &contrarc_milp::SolveOptions::default().with_time_limit(120.0),
         );
         match r {
-            Ok(e) => eprintln!(
-                "ARCHEX {:?} in {:.2}s",
-                e.architecture().map(contrarc::Architecture::cost),
-                t0.elapsed().as_secs_f64()
+            Ok(e) => event!(
+                "probe.archex",
+                cost = e
+                    .architecture()
+                    .map_or(f64::NAN, contrarc::Architecture::cost),
+                secs = t0.elapsed().as_secs_f64(),
             ),
-            Err(err) => eprintln!(
-                "ARCHEX error after {:.2}s: {err}",
-                t0.elapsed().as_secs_f64()
+            Err(err) => event!(
+                "probe.archex_error",
+                error = format!("{err}"),
+                secs = t0.elapsed().as_secs_f64(),
             ),
         }
+        contrarc_obs::flush_sink();
         return;
     }
     let mut ex = Explorer::new(&p, cfg).unwrap();
-    eprintln!(
-        "model: {} vars {} constraints",
-        ex.stats().milp_vars,
-        ex.stats().milp_constraints
+    event!(
+        "probe.model",
+        vars = ex.stats().milp_vars,
+        constraints = ex.stats().milp_constraints,
     );
     let t0 = Instant::now();
     loop {
@@ -60,42 +70,46 @@ fn main() {
                 violations,
                 cuts_added,
             } => {
-                eprintln!(
-                    "iter {:3}: {:6.2}s cost {:6.1} violations {} cuts+{} (total cuts {})",
-                    ex.stats().iterations,
-                    it.elapsed().as_secs_f64(),
-                    candidate.cost(),
-                    violations.len(),
-                    cuts_added,
-                    ex.stats().cuts_added,
+                event!(
+                    "probe.iter",
+                    iter = ex.stats().iterations,
+                    secs = it.elapsed().as_secs_f64(),
+                    cost = candidate.cost(),
+                    violations = violations.len(),
+                    cuts = cuts_added,
+                    total_cuts = ex.stats().cuts_added,
                 );
             }
             Step::Optimal(a) => {
-                eprintln!(
-                    "OPTIMAL {:.1} after {} iters, {:.2}s",
-                    a.cost(),
-                    ex.stats().iterations,
-                    t0.elapsed().as_secs_f64()
+                event!(
+                    "probe.optimal",
+                    cost = a.cost(),
+                    iters = ex.stats().iterations,
+                    secs = t0.elapsed().as_secs_f64(),
                 );
                 break;
             }
             Step::Infeasible => {
-                eprintln!(
-                    "INFEASIBLE after {} iters, {:.2}s",
-                    ex.stats().iterations,
-                    t0.elapsed().as_secs_f64()
+                event!(
+                    "probe.infeasible",
+                    iters = ex.stats().iterations,
+                    secs = t0.elapsed().as_secs_f64(),
                 );
                 break;
             }
             Step::Exhausted(reason) => {
-                eprintln!(
-                    "EXHAUSTED ({reason}) after {} iters, {:.2}s; incumbent {:?}",
-                    ex.stats().iterations,
-                    t0.elapsed().as_secs_f64(),
-                    ex.incumbent().map(contrarc::Architecture::cost),
+                event!(
+                    "probe.exhausted",
+                    reason = format!("{reason}"),
+                    iters = ex.stats().iterations,
+                    secs = t0.elapsed().as_secs_f64(),
+                    incumbent_cost = ex
+                        .incumbent()
+                        .map_or(f64::NAN, contrarc::Architecture::cost),
                 );
                 break;
             }
         }
     }
+    contrarc_obs::flush_sink();
 }

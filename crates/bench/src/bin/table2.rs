@@ -12,8 +12,10 @@
 //! row; timed-out cells report the budget with no cost.
 
 use contrarc_bench::harness::{render_table2, run_table2_row, table2_configs, time_limit_secs};
+use contrarc_obs::event;
 
 fn main() {
+    contrarc_bench::init_bin_tracing();
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .map(|s| s.parse().expect("row arguments must be numbers"))
@@ -29,10 +31,11 @@ fn main() {
     let configs = table2_configs();
     let mut rows = Vec::new();
     for config in configs.iter().take(to).skip(from) {
-        eprintln!("running ({})...", config.label());
+        event!("table2.row", config = config.label());
         rows.push(run_table2_row(config));
     }
     println!("{}", render_table2(&rows));
     println!("expected shape: 'complete' dominates both ablations in time;");
     println!("iso-pruning needs far fewer iterations than decomposition-only.");
+    contrarc_obs::flush_sink();
 }

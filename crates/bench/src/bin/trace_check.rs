@@ -1,0 +1,90 @@
+//! Validates a `CONTRARC_TRACE` JSONL trace file: every line must satisfy
+//! the wire schema (see `contrarc_obs::json::validate_trace_line`) and the
+//! span lifecycle must be consistent — each close matches a prior open with
+//! the same span id and name, span ids are never reused, and every span is
+//! closed by the end of the trace.
+//!
+//! Usage: `trace_check <trace.jsonl>`; exits non-zero naming the first
+//! offending line. CI runs this against the trace produced by the RPL
+//! example to keep the schema honest.
+
+use contrarc_obs::json::validate_trace_line;
+use std::collections::{BTreeSet, HashMap};
+use std::process::ExitCode;
+
+fn check(text: &str) -> Result<String, String> {
+    // span id -> name, for spans currently open.
+    let mut open: HashMap<u64, String> = HashMap::new();
+    let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut threads: BTreeSet<String> = BTreeSet::new();
+    let (mut opens, mut closes, mut instants) = (0u64, 0u64, 0u64);
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let rec = validate_trace_line(line).map_err(|e| format!("line {ln}: {e}"))?;
+        threads.insert(rec.thread.clone());
+        match rec.ev.as_str() {
+            "open" => {
+                opens += 1;
+                if !seen_ids.insert(rec.span) {
+                    return Err(format!("line {ln}: span id {} reused", rec.span));
+                }
+                open.insert(rec.span, rec.name.clone());
+            }
+            "close" => {
+                closes += 1;
+                match open.remove(&rec.span) {
+                    Some(name) if name == rec.name => {}
+                    Some(name) => {
+                        return Err(format!(
+                            "line {ln}: span {} closes as '{}' but opened as '{name}'",
+                            rec.span, rec.name
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {ln}: close for span {} without a matching open",
+                            rec.span
+                        ));
+                    }
+                }
+            }
+            "instant" => instants += 1,
+            other => return Err(format!("line {ln}: unknown event kind '{other}'")),
+        }
+    }
+    if !open.is_empty() {
+        let mut ids: Vec<u64> = open.keys().copied().collect();
+        ids.sort_unstable();
+        return Err(format!("{} span(s) never closed (ids {ids:?})", open.len()));
+    }
+    Ok(format!(
+        "{} events ({opens} opens, {closes} closes, {instants} instants) \
+         across {} thread(s); all spans balanced",
+        opens + closes + instants,
+        threads.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(summary) => {
+            println!("trace_check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,3 +21,22 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+
+/// Standard tracing setup for the harness binaries: honour
+/// `CONTRARC_TRACE=path.jsonl` (full JSONL trace to a file), and otherwise
+/// install the stderr pretty-printer so progress events stay visible.
+/// Returns `true` when a JSONL trace file is being written.
+pub fn init_bin_tracing() -> bool {
+    match contrarc_obs::init_from_env() {
+        Ok(true) => true,
+        Ok(false) => {
+            contrarc_obs::install_sink(std::sync::Arc::new(contrarc_obs::sinks::StderrPrettySink));
+            false
+        }
+        Err(e) => {
+            eprintln!("warning: CONTRARC_TRACE setup failed ({e}); tracing to stderr instead");
+            contrarc_obs::install_sink(std::sync::Arc::new(contrarc_obs::sinks::StderrPrettySink));
+            false
+        }
+    }
+}

@@ -114,6 +114,26 @@ pub fn apply_cuts(
 ) -> Result<usize, SolveError> {
     let iso_pruning = config.iso_pruning;
     let t = &problem.template;
+    let scope_kind = match &violation.scope {
+        ViolationScope::Path(_) => "path",
+        ViolationScope::Whole => "whole",
+    };
+    let scope_size = match &violation.scope {
+        ViolationScope::Path(nodes) => nodes.len(),
+        ViolationScope::Whole => arch.graph().num_nodes(),
+    };
+    let mut cert_span = contrarc_obs::span!(
+        "cert.scope",
+        kind = scope_kind,
+        viewpoint = format!("{}", violation.viewpoint),
+        pattern_nodes = scope_size,
+    );
+    contrarc_obs::metrics::counter_add("cert.scopes", 1);
+    contrarc_obs::metrics::observe_hist(
+        "cert.scope_size",
+        contrarc_obs::metrics::COUNT_BUCKETS,
+        scope_size as f64,
+    );
 
     // --- pattern graph 𝒢 (implementation nodes detached) --------------------
     // Pattern nodes carry their type; `scope_arch_nodes[i]` is the
@@ -281,6 +301,14 @@ pub fn apply_cuts(
             }
         }
     }
+    cert_span.record("embeddings", embeddings.len());
+    cert_span.record("cuts", added);
+    contrarc_obs::metrics::counter_add("cert.embeddings", embeddings.len() as u64);
+    contrarc_obs::metrics::observe_hist(
+        "cert.cuts_per_scope",
+        contrarc_obs::metrics::COUNT_BUCKETS,
+        added as f64,
+    );
     Ok(added)
 }
 

@@ -181,20 +181,9 @@ impl ExplorerCheckpoint {
             Some(v) => out.push_str(&format!("cost_floor {}\n", f64_hex(v))),
             None => out.push_str("cost_floor -\n"),
         }
-        let s = &self.stats;
-        out.push_str(&format!(
-            "stats {} {} {} {} {} {} {} {} {} {}\n",
-            s.iterations,
-            s.cuts_added,
-            s.milp_vars,
-            s.milp_constraints,
-            f64_hex(s.milp_time),
-            f64_hex(s.refine_time),
-            f64_hex(s.cert_time),
-            f64_hex(s.total_time),
-            s.cache_hits,
-            s.cache_misses,
-        ));
+        // The stats record is owned by `ExplorationStats` itself (one field
+        // list generates the renderer, the parser, and `Display`).
+        out.push_str(&format!("stats {}\n", self.stats.to_stats_line()));
         out.push_str(&format!("usage {} {}\n", self.nodes_used, self.pivots_used));
         out.push_str(&format!("aux_vars {}\n", self.aux_vars.len()));
         for v in &self.aux_vars {
@@ -268,35 +257,9 @@ impl ExplorerCheckpoint {
             Some(parse_f64(ln, cf)?)
         };
         let (ln, st) = field(&mut lines, "stats")?;
-        let parts: Vec<&str> = st.split(' ').collect();
-        // 8 fields = pre-cache checkpoints (counters default to zero);
-        // 10 fields = current format with cache hit/miss counters.
-        if parts.len() != 8 && parts.len() != 10 {
-            return Err(err(
-                ln,
-                format!("stats needs 8 or 10 fields, found {}", parts.len()),
-            ));
-        }
-        let stats = ExplorationStats {
-            iterations: parse_int(ln, parts[0])?,
-            cuts_added: parse_int(ln, parts[1])?,
-            milp_vars: parse_int(ln, parts[2])?,
-            milp_constraints: parse_int(ln, parts[3])?,
-            milp_time: parse_f64(ln, parts[4])?,
-            refine_time: parse_f64(ln, parts[5])?,
-            cert_time: parse_f64(ln, parts[6])?,
-            total_time: parse_f64(ln, parts[7])?,
-            cache_hits: if parts.len() == 10 {
-                parse_int(ln, parts[8])?
-            } else {
-                0
-            },
-            cache_misses: if parts.len() == 10 {
-                parse_int(ln, parts[9])?
-            } else {
-                0
-            },
-        };
+        // Legacy 8-field (pre-cache-counter) lines are accepted by the
+        // parser; see `ExplorationStats::from_stats_line`.
+        let stats = ExplorationStats::from_stats_line(st).map_err(|m| err(ln, m))?;
         let (ln, us) = field(&mut lines, "usage")?;
         let (nodes, pivots) = us
             .split_once(' ')

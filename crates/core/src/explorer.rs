@@ -12,6 +12,7 @@ use contrarc_milp::{Budget, LinExpr, SolveError, SolveOptions, VarDef, VarId};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Configuration of the exploration loop. The two booleans reproduce the
@@ -54,6 +55,13 @@ pub struct ExplorerConfig {
     /// Overrides `solve_options.threads`. Not part of the checkpoint
     /// fingerprint: a run may be resumed with a different thread count.
     pub threads: usize,
+    /// Optional trace sink, installed as the process-global event
+    /// destination by [`Explorer::new`]. Sinks observe the exploration —
+    /// spans, events, metrics — but never steer it: no control-flow decision
+    /// reads sink state, so any run is bit-for-bit identical with tracing on
+    /// or off. Not part of the checkpoint fingerprint for the same reason a
+    /// thread count isn't.
+    pub observer: contrarc_obs::Observer,
 }
 
 impl Default for ExplorerConfig {
@@ -67,6 +75,7 @@ impl Default for ExplorerConfig {
             solve_options: SolveOptions::default(),
             max_paths: 100_000,
             threads: 0,
+            observer: contrarc_obs::Observer::none(),
         }
     }
 }
@@ -123,22 +132,137 @@ pub struct ExplorationStats {
     pub cache_misses: u64,
 }
 
-impl fmt::Display for ExplorationStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} iterations, {} cuts, {:.3} s total ({:.3} milp / {:.3} refine / {:.3} cert), \
-             cache {}/{} hits",
-            self.iterations,
-            self.cuts_added,
-            self.total_time,
-            self.milp_time,
-            self.refine_time,
-            self.cert_time,
-            self.cache_hits,
-            self.cache_hits + self.cache_misses
-        )
+/// A field type that can round-trip through the checkpoint stats line and
+/// render itself for [`ExplorationStats`]'s `Display`.
+///
+/// Integers use plain decimal in both renderings; `f64`s use their
+/// 16-hex-digit IEEE-754 bit pattern on the stats line (bit-exact
+/// round-trip) and `{:.3}` seconds for humans.
+trait StatsLineField: Sized + Copy {
+    fn render_line(self, out: &mut String);
+    fn parse_line(s: &str) -> Result<Self, String>;
+    fn render_display(self, out: &mut String);
+}
+
+macro_rules! int_stats_field {
+    ($($ty:ty),+) => {$(
+        impl StatsLineField for $ty {
+            fn render_line(self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+            fn parse_line(s: &str) -> Result<Self, String> {
+                s.parse().map_err(|_| format!("bad integer '{s}'"))
+            }
+            fn render_display(self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )+};
+}
+int_stats_field!(usize, u64);
+
+impl StatsLineField for f64 {
+    fn render_line(self, out: &mut String) {
+        let _ = write!(out, "{:016x}", self.to_bits());
     }
+    fn parse_line(s: &str) -> Result<Self, String> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad f64 bits '{s}'"))
+    }
+    fn render_display(self, out: &mut String) {
+        let _ = write!(out, "{self:.3}");
+    }
+}
+
+/// The single source of truth for the [`ExplorationStats`] wire formats:
+/// every rendering of the struct as a flat record — `FIELD_NAMES`, the
+/// checkpoint stats line ([`ExplorationStats::to_stats_line`] /
+/// [`ExplorationStats::from_stats_line`]), and `Display` — is generated from
+/// this one field list, so they can never drift apart. The order is the
+/// checkpoint stats-line order and must only ever be extended at the end
+/// (parsers accept historical prefixes; see `from_stats_line`).
+macro_rules! exploration_stats_line {
+    ($(($field:ident: $ty:ty)),+ $(,)?) => {
+        impl ExplorationStats {
+            /// Stats-line field names, in serialization order.
+            pub const FIELD_NAMES: &'static [&'static str] = &[$(stringify!($field)),+];
+
+            /// Number of fields in the legacy (pre-cache-counter)
+            /// checkpoint stats line.
+            const LEGACY_FIELDS: usize = 8;
+
+            /// Render the space-separated checkpoint stats line (no
+            /// trailing newline). `f64`s are serialized bit-exactly as
+            /// 16-hex-digit IEEE-754 patterns.
+            #[must_use]
+            pub fn to_stats_line(&self) -> String {
+                let mut out = String::new();
+                $(
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    StatsLineField::render_line(self.$field, &mut out);
+                )+
+                out
+            }
+
+            /// Parse a line produced by [`ExplorationStats::to_stats_line`].
+            /// Accepts the legacy 8-field form (pre-cache-counter
+            /// checkpoints); missing trailing fields default to zero.
+            ///
+            /// # Errors
+            ///
+            /// Returns a message naming the malformed token or the wrong
+            /// field count.
+            pub fn from_stats_line(s: &str) -> Result<Self, String> {
+                let mut parts: Vec<&str> = s.split(' ').collect();
+                let expected = Self::FIELD_NAMES.len();
+                if parts.len() != expected && parts.len() != Self::LEGACY_FIELDS {
+                    return Err(format!(
+                        "stats needs {} or {expected} fields, found {}",
+                        Self::LEGACY_FIELDS,
+                        parts.len()
+                    ));
+                }
+                parts.resize(expected, "0");
+                let mut tok = parts.into_iter();
+                Ok(ExplorationStats {
+                    $($field: StatsLineField::parse_line(
+                        tok.next().expect("length checked above"),
+                    )?,)+
+                })
+            }
+        }
+
+        impl fmt::Display for ExplorationStats {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut out = String::new();
+                $(
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(stringify!($field));
+                    out.push('=');
+                    StatsLineField::render_display(self.$field, &mut out);
+                )+
+                f.write_str(&out)
+            }
+        }
+    };
+}
+
+exploration_stats_line! {
+    (iterations: usize),
+    (cuts_added: usize),
+    (milp_vars: usize),
+    (milp_constraints: usize),
+    (milp_time: f64),
+    (refine_time: f64),
+    (cert_time: f64),
+    (total_time: f64),
+    (cache_hits: u64),
+    (cache_misses: u64),
 }
 
 /// Why an exploration stopped before reaching an optimum or an
@@ -473,6 +597,10 @@ impl<'p> Explorer<'p> {
     ///
     /// Returns [`ExploreError::Solve`] when the problem fails validation.
     pub fn new(problem: &'p Problem, mut config: ExplorerConfig) -> Result<Self, ExploreError> {
+        // Wire the configured sink (if any) into the process-global event
+        // stream before the first instrumented call site runs. Sinks observe
+        // only: nothing below ever reads them back.
+        config.observer.install();
         let enc = encode_problem2(problem)?;
         let model_stats = enc.model.stats();
         let stats = ExplorationStats {
@@ -742,6 +870,8 @@ impl<'p> Explorer<'p> {
             }));
         }
         self.stats.iterations += 1;
+        let mut iter_span = contrarc_obs::span!("explore.iteration", iter = self.stats.iterations);
+        contrarc_obs::metrics::counter_add("explore.iterations", 1);
 
         // Problem 2: candidate selection. The optimum is nondecreasing
         // across iterations (cuts only remove solutions), so the previous
@@ -750,7 +880,13 @@ impl<'p> Explorer<'p> {
         let t0 = Instant::now();
         let mut solve_options = self.config.solve_options.clone();
         solve_options.objective_floor = self.cost_floor;
-        let outcome = self.enc.model.solve(&solve_options);
+        let outcome = {
+            let _select_span = contrarc_obs::span!(
+                "explore.select",
+                cuts = self.enc.model.num_constrs() - self.baseline_constrs,
+            );
+            self.enc.model.solve(&solve_options)
+        };
         self.stats.milp_time += t0.elapsed().as_secs_f64();
         let outcome = match outcome {
             Ok(o) => o,
@@ -760,22 +896,27 @@ impl<'p> Explorer<'p> {
         let Some(solution) = outcome.solution() else {
             self.stats.total_time = self.elapsed_total();
             self.finished = true;
+            iter_span.record("outcome", "infeasible");
             return Ok(Step::Infeasible);
         };
         self.cost_floor = Some(solution.objective());
         let arch = Architecture::decode(self.problem, &self.enc, solution);
+        contrarc_obs::event!("explore.candidate", cost = arch.cost());
         self.incumbent = Some(arch.clone());
 
         // Problem 3: refinement verification (parallel per-path wave, with
         // verdicts memoized by the canonical form of the checked scope).
         let t1 = Instant::now();
-        let violations = check_candidate_all_cached(
-            self.problem,
-            &arch,
-            &self.ref_config,
-            &self.checker,
-            Some(&self.cache),
-        );
+        let violations = {
+            let _refine_span = contrarc_obs::span!("explore.refine");
+            check_candidate_all_cached(
+                self.problem,
+                &arch,
+                &self.ref_config,
+                &self.checker,
+                Some(&self.cache),
+            )
+        };
         self.stats.refine_time += t1.elapsed().as_secs_f64();
         self.stats.cache_hits = self.prior_cache_hits + self.cache.hits();
         self.stats.cache_misses = self.prior_cache_misses + self.cache.misses();
@@ -787,11 +928,13 @@ impl<'p> Explorer<'p> {
         if violations.is_empty() {
             self.stats.total_time = self.elapsed_total();
             self.finished = true;
+            iter_span.record("outcome", "optimal");
             return Ok(Step::Optimal(arch));
         }
 
         // Problem 4: certificate generation.
         let t2 = Instant::now();
+        let mut cert_span = contrarc_obs::span!("explore.cert", violations = violations.len());
         let cut_config = CutConfig {
             iso_pruning: self.config.iso_pruning,
             dominance_widening: self.config.dominance_widening,
@@ -815,8 +958,13 @@ impl<'p> Explorer<'p> {
                 }
             }
         }
+        cert_span.record("cuts", added);
+        drop(cert_span);
         self.stats.cert_time += t2.elapsed().as_secs_f64();
         self.stats.cuts_added += added;
+        contrarc_obs::metrics::counter_add("explore.cuts", added as u64);
+        iter_span.record("outcome", "pruned");
+        iter_span.record("cuts", added);
         if let Some(e) = cut_err {
             return self.exhaust_or_err(e);
         }
@@ -1197,5 +1345,61 @@ mod tests {
         assert!(text.contains("iterations"));
         assert!(result.stats().milp_vars > 0);
         assert!(result.stats().milp_constraints > 0);
+    }
+
+    fn awkward_stats() -> ExplorationStats {
+        ExplorationStats {
+            iterations: 17,
+            cuts_added: 5,
+            milp_vars: 120,
+            milp_constraints: 240,
+            milp_time: 0.1 + 0.2, // not exactly representable
+            refine_time: f64::MIN_POSITIVE,
+            cert_time: -0.0,
+            total_time: 123.456_789,
+            cache_hits: u64::MAX,
+            cache_misses: 3,
+        }
+    }
+
+    #[test]
+    fn stats_line_round_trip_is_exact() {
+        let stats = awkward_stats();
+        let line = stats.to_stats_line();
+        let back = ExplorationStats::from_stats_line(&line).unwrap();
+        assert_eq!(back, stats);
+        // Bit-exactness beyond PartialEq (−0.0 == 0.0 under PartialEq).
+        assert_eq!(back.cert_time.to_bits(), stats.cert_time.to_bits());
+        assert_eq!(line.split(' ').count(), ExplorationStats::FIELD_NAMES.len());
+    }
+
+    #[test]
+    fn stats_line_accepts_legacy_eight_fields() {
+        let line = awkward_stats().to_stats_line();
+        let legacy = line.split(' ').take(8).collect::<Vec<_>>().join(" ");
+        let back = ExplorationStats::from_stats_line(&legacy).unwrap();
+        assert_eq!(back.iterations, 17);
+        assert_eq!(back.cache_hits, 0);
+        assert_eq!(back.cache_misses, 0);
+    }
+
+    #[test]
+    fn stats_line_rejects_malformed_input() {
+        assert!(ExplorationStats::from_stats_line("").is_err());
+        assert!(ExplorationStats::from_stats_line("1 2 3").is_err());
+        let mangled = awkward_stats().to_stats_line().replace("17", "seventeen");
+        assert!(ExplorationStats::from_stats_line(&mangled).is_err());
+    }
+
+    #[test]
+    fn display_names_every_field() {
+        // Display is generated from the same field list as the stats line,
+        // so every field name must appear.
+        let text = awkward_stats().to_string();
+        for name in ExplorationStats::FIELD_NAMES {
+            assert!(text.contains(name), "Display misses field '{name}'");
+        }
+        assert!(text.contains("iterations=17"));
+        assert!(text.contains("total_time=123.457"));
     }
 }

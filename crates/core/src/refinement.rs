@@ -164,10 +164,12 @@ impl RefinementCache {
 
     fn note_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        contrarc_obs::metrics::counter_add("refine.cache_hits", 1);
     }
 
     fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        contrarc_obs::metrics::counter_add("refine.cache_misses", 1);
     }
 }
 
@@ -369,6 +371,8 @@ fn check_timing_path(
     path: &[NodeId],
     checker: &RefinementChecker,
 ) -> Result<bool, SolveError> {
+    let mut path_span = contrarc_obs::span!("refine.path", nodes = path.len());
+    let timer = contrarc_obs::metrics::metrics_enabled().then(std::time::Instant::now);
     let edges: Vec<(NodeId, NodeId)> = path.windows(2).map(|w| (w[0], w[1])).collect();
     let model = build_timing_model(
         problem,
@@ -378,7 +382,19 @@ fn check_timing_path(
         &path[..1],
         &path[path.len() - 1..],
     );
-    refines(&model, checker)
+    let verdict = refines(&model, checker);
+    contrarc_obs::metrics::counter_add("refine.path_checks", 1);
+    if let Some(t0) = timer {
+        contrarc_obs::metrics::observe_hist(
+            "refine.path_check_secs",
+            contrarc_obs::metrics::SECONDS_BUCKETS,
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+    if let Ok(holds) = &verdict {
+        path_span.record("holds", *holds);
+    }
+    verdict
 }
 
 /// Run one check through the cache (when present): lookup by key, compute on

@@ -107,6 +107,11 @@ where
         return Vec::new();
     }
 
+    let mut search_span = contrarc_obs::span!(
+        "vf2.search",
+        pattern_nodes = np,
+        target_nodes = target.num_nodes(),
+    );
     let order = matching_order(pattern, target, &compat);
     let mut state = State {
         pattern,
@@ -117,9 +122,25 @@ where
         map: vec![None; np],
         used: vec![false; target.num_nodes()],
         out: Vec::new(),
+        max_depth: 0,
     };
     state.extend(0);
+    record_search_metrics(&mut search_span, state.out.len(), state.max_depth);
     state.out
+}
+
+/// Shared close-out for the serial and parallel enumerators: counters, the
+/// recursion-depth histogram, and the close-time span fields.
+fn record_search_metrics(span: &mut contrarc_obs::SpanGuard, embeddings: usize, max_depth: usize) {
+    contrarc_obs::metrics::counter_add("vf2.searches", 1);
+    contrarc_obs::metrics::counter_add("vf2.embeddings", embeddings as u64);
+    contrarc_obs::metrics::observe_hist(
+        "vf2.max_depth",
+        contrarc_obs::metrics::COUNT_BUCKETS,
+        max_depth as f64,
+    );
+    span.record("embeddings", embeddings);
+    span.record("max_depth", max_depth);
 }
 
 /// [`subgraph_isomorphisms`] with the depth-0 candidate frontier split across
@@ -150,6 +171,12 @@ where
         return subgraph_isomorphisms(pattern, target, mode, compat);
     }
 
+    let mut search_span = contrarc_obs::span!(
+        "vf2.search",
+        pattern_nodes = np,
+        target_nodes = target.num_nodes(),
+        threads = threads,
+    );
     let order = matching_order(pattern, target, &compat);
     let root = order[0];
     // Depth-0 candidates: nothing is mapped yet, so the serial backtracker
@@ -166,15 +193,19 @@ where
             map: vec![None; np],
             used: vec![false; target.num_nodes()],
             out: Vec::new(),
+            max_depth: 0,
         };
         if state.feasible(root, t) {
             state.map[root.index()] = Some(t);
             state.used[t.index()] = true;
             state.extend(1);
         }
-        state.out
+        (state.out, state.max_depth)
     });
-    chunks.into_iter().flatten().collect()
+    let max_depth = chunks.iter().map(|(_, d)| *d).max().unwrap_or(0);
+    let out: Vec<Embedding> = chunks.into_iter().flat_map(|(embs, _)| embs).collect();
+    record_search_metrics(&mut search_span, out.len(), max_depth);
+    out
 }
 
 /// Whether `pattern` and `target` are isomorphic as directed graphs
@@ -217,6 +248,7 @@ where
         map: vec![None; np],
         used: vec![false; target.num_nodes()],
         out: Vec::new(),
+        max_depth: 0,
     };
     state.extend_first(0);
     state.out.into_iter().next()
@@ -291,6 +323,8 @@ struct State<'a, N1, E1, N2, E2, F> {
     map: Vec<Option<NodeId>>,
     used: Vec<bool>,
     out: Vec<Embedding>,
+    /// Deepest recursion level reached; observability only.
+    max_depth: usize,
 }
 
 impl<N1, E1, N2, E2, F> State<'_, N1, E1, N2, E2, F>
@@ -298,6 +332,7 @@ where
     F: Fn(&N1, &N2) -> bool,
 {
     fn extend(&mut self, depth: usize) {
+        self.max_depth = self.max_depth.max(depth);
         if depth == self.order.len() {
             self.record();
             return;
@@ -316,6 +351,7 @@ where
     }
 
     fn extend_first(&mut self, depth: usize) -> bool {
+        self.max_depth = self.max_depth.max(depth);
         if depth == self.order.len() {
             self.record();
             return true;

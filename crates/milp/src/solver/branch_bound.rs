@@ -132,6 +132,7 @@ fn eval_node(
     opts: &SolveOptions,
     deadline: Deadline,
 ) -> NodeEval {
+    let mut lp_span = contrarc_obs::span!("milp.lp");
     let sf = sf_root.rebind(lbs, ubs);
     let mut simplex = Simplex::new(&sf, opts).with_deadline(deadline);
     let lp_result = match warm {
@@ -147,6 +148,7 @@ fn eval_node(
         _ => simplex.solve(),
     };
     let pivots = simplex.pivots;
+    lp_span.record("pivots", pivots);
     let charged = opts.budget.charge_pivots(simplex.take_uncharged_pivots());
     let snapshot = match &lp_result {
         Ok(LpOutcome::Optimal { .. }) => simplex.snapshot().map(Arc::new),
@@ -216,6 +218,7 @@ fn prefetch_wave(
         parked.push(peer);
     }
 
+    let _wave_span = contrarc_obs::span!("milp.wave", width = work.len(), threads = threads);
     let evals = contrarc_par::parallel_map(threads, work.len(), |i| {
         let w = &work[i];
         eval_node(sf_root, &w.lbs, &w.ubs, w.warm.as_deref(), opts, deadline)
@@ -239,6 +242,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         .tightened_by_secs(opts.time_limit_secs);
     let threads = contrarc_par::effective_threads(opts.threads.max(1));
     let mut stats = SolveStats::default();
+    let mut solve_span = contrarc_obs::span!(
+        "milp.solve",
+        vars = model.num_vars(),
+        constraints = model.stats().num_constraints,
+        threads = threads,
+    );
 
     // Presolve: detect trivial infeasibility and tighten bounds.
     let (root_lbs, root_ubs) = match presolve_bounds(model, opts) {
@@ -319,6 +328,15 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         }
         stats.nodes += 1;
         opts.budget.charge_nodes(1)?;
+        // Commit point: everything recorded here is identical for every
+        // thread count (speculative evaluations never reach this loop).
+        let mut node_span = contrarc_obs::span!("milp.node", seq = node.seq, depth = node.depth);
+        contrarc_obs::metrics::counter_add("milp.nodes", 1);
+        contrarc_obs::metrics::observe_hist(
+            "milp.node_depth",
+            contrarc_obs::metrics::COUNT_BUCKETS,
+            f64::from(node.depth),
+        );
 
         let (lbs, ubs) = node.materialize(&root_lbs, &root_ubs);
         let eval = match eval_cache.remove(&node.seq) {
@@ -346,6 +364,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         // Only *committed* evaluations count toward statistics, so the stats
         // are identical for every thread count.
         stats.simplex_iterations += eval.pivots;
+        node_span.record("pivots", eval.pivots);
+        contrarc_obs::metrics::observe_hist(
+            "milp.pivots_per_node",
+            contrarc_obs::metrics::COUNT_BUCKETS,
+            eval.pivots as f64,
+        );
         let (lp, node_snapshot) = eval.result?;
         let (values, min_obj) = match lp {
             LpOutcome::Infeasible => continue,
@@ -389,7 +413,10 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                     ubs_fix[vi] = r;
                 }
                 if exact {
-                    incumbent = Some((values, min_obj, sf_root.model_objective(min_obj)));
+                    let objective = sf_root.model_objective(min_obj);
+                    contrarc_obs::event!("milp.incumbent", objective = objective);
+                    contrarc_obs::metrics::counter_add("milp.incumbents", 1);
+                    incumbent = Some((values, min_obj, objective));
                     if reached_floor(&incumbent) {
                         break;
                     }
@@ -412,7 +439,10 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                                 for &vi in &int_vars {
                                     vals[vi] = vals[vi].round();
                                 }
-                                incumbent = Some((vals, fobj, sf_fix.model_objective(fobj)));
+                                let objective = sf_fix.model_objective(fobj);
+                                contrarc_obs::event!("milp.incumbent", objective = objective);
+                                contrarc_obs::metrics::counter_add("milp.incumbents", 1);
+                                incumbent = Some((vals, fobj, objective));
                                 if reached_floor(&incumbent) {
                                     break;
                                 }
@@ -478,6 +508,8 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     }
 
     stats.time_secs = start.elapsed().as_secs_f64();
+    solve_span.record("nodes", stats.nodes);
+    solve_span.record("pivots", stats.simplex_iterations);
     if root_unbounded {
         return Ok(Outcome::Unbounded { stats });
     }

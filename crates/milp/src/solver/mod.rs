@@ -207,6 +207,8 @@ impl Solver {
     /// Advance the retry ladder one rung; `false` when it is exhausted.
     fn escalate(opts: &mut SolveOptions, retries: &mut u64) -> bool {
         *retries += 1;
+        contrarc_obs::metrics::counter_add("milp.retries", 1);
+        contrarc_obs::event!("milp.retry", rung = *retries);
         match *retries {
             1 => opts.force_bland = true,
             2 => {

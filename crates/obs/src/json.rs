@@ -1,0 +1,477 @@
+//! Minimal JSON support for the JSONL trace format: an escape helper for the
+//! writer, a dependency-free recursive-descent parser, and the trace-line
+//! schema validator shared by tests, the `trace_check` bin, and CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a single JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message (with byte offset) on malformed input or
+/// trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte '{}' at {}",
+                char::from(b),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is
+                    // always on a char boundary).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid utf-8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control char at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Structural summary of one validated trace line, for cross-line checks
+/// (open/close pairing, parent references).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    /// `open`, `close`, or `instant`.
+    pub ev: String,
+    /// Event name.
+    pub name: String,
+    /// Span id (0 for instants).
+    pub span: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Thread label.
+    pub thread: String,
+    /// Monotonic timestamp in microseconds.
+    pub t_us: u64,
+    /// Duration in microseconds; present iff `ev == "close"`.
+    pub dur_us: Option<u64>,
+}
+
+fn non_negative_int(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let n = v
+        .as_num()
+        .ok_or_else(|| format!("'{key}' is not a number"))?;
+    if !n.is_finite() || n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("'{key}' is not a non-negative integer: {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// Validate one JSONL trace line against the wire schema and return its
+/// structural summary.
+///
+/// Schema: a flat object with exactly the keys `ev`, `t_us`, `span`,
+/// `parent`, `thread`, `name`, `fields` — plus `dur_us` on (and only on)
+/// `close` events. `fields` is an object whose values are scalars (number,
+/// string, bool, or null). `open`/`close` require `span >= 1`; `instant`
+/// requires `span == 0`.
+///
+/// # Errors
+///
+/// Returns a message describing the first schema violation found.
+pub fn validate_trace_line(line: &str) -> Result<TraceLine, String> {
+    let doc = parse(line)?;
+    let JsonValue::Obj(pairs) = &doc else {
+        return Err("line is not a JSON object".to_owned());
+    };
+
+    let mut seen = BTreeMap::new();
+    for (key, _) in pairs {
+        if seen.insert(key.as_str(), ()).is_some() {
+            return Err(format!("duplicate key '{key}'"));
+        }
+    }
+
+    let ev = doc
+        .get("ev")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string 'ev'")?
+        .to_owned();
+    if !matches!(ev.as_str(), "open" | "close" | "instant") {
+        return Err(format!("unknown event kind '{ev}'"));
+    }
+
+    let expected: &[&str] = if ev == "close" {
+        &[
+            "ev", "t_us", "span", "parent", "thread", "name", "dur_us", "fields",
+        ]
+    } else {
+        &["ev", "t_us", "span", "parent", "thread", "name", "fields"]
+    };
+    for key in expected {
+        if doc.get(key).is_none() {
+            return Err(format!("missing key '{key}'"));
+        }
+    }
+    for (key, _) in pairs {
+        if !expected.contains(&key.as_str()) {
+            return Err(format!("unexpected key '{key}'"));
+        }
+    }
+
+    let t_us = non_negative_int(doc.get("t_us").unwrap(), "t_us")?;
+    let span = non_negative_int(doc.get("span").unwrap(), "span")?;
+    let parent = non_negative_int(doc.get("parent").unwrap(), "parent")?;
+    let dur_us = match doc.get("dur_us") {
+        Some(v) => Some(non_negative_int(v, "dur_us")?),
+        None => None,
+    };
+    let name = doc
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("'name' is not a string")?
+        .to_owned();
+    if name.is_empty() {
+        return Err("'name' is empty".to_owned());
+    }
+    let thread = doc
+        .get("thread")
+        .and_then(JsonValue::as_str)
+        .ok_or("'thread' is not a string")?
+        .to_owned();
+
+    match ev.as_str() {
+        "instant" if span != 0 => return Err("instant event with span != 0".to_owned()),
+        "open" | "close" if span == 0 => return Err(format!("{ev} event with span 0")),
+        _ => {}
+    }
+
+    let JsonValue::Obj(fields) = doc.get("fields").unwrap() else {
+        return Err("'fields' is not an object".to_owned());
+    };
+    for (key, value) in fields {
+        match value {
+            JsonValue::Null | JsonValue::Bool(_) | JsonValue::Num(_) | JsonValue::Str(_) => {}
+            _ => return Err(format!("field '{key}' is not a scalar")),
+        }
+    }
+
+    Ok(TraceLine {
+        ev,
+        name,
+        span,
+        parent,
+        thread,
+        t_us,
+        dur_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, -2.5, "x\n", true, null], "b": {"c": 1e3}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2.5),
+                JsonValue::Str("x\n".to_owned()),
+                JsonValue::Bool(true),
+                JsonValue::Null,
+            ]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Num(1000.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse(r#"{"a": 01x}"#).is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — π";
+        let mut doc = String::from("{\"k\": ");
+        escape_into(&mut doc, nasty);
+        doc.push('}');
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn validates_good_lines() {
+        let open = r#"{"ev":"open","t_us":12,"span":1,"parent":0,"thread":"main","name":"x.y","fields":{"n":3}}"#;
+        let close = r#"{"ev":"close","t_us":40,"span":1,"parent":0,"thread":"main","name":"x.y","dur_us":28,"fields":{}}"#;
+        let instant = r#"{"ev":"instant","t_us":20,"span":0,"parent":1,"thread":"worker-0","name":"x.tick","fields":{"ok":true,"c":"s"}}"#;
+        assert_eq!(validate_trace_line(open).unwrap().span, 1);
+        assert_eq!(validate_trace_line(close).unwrap().dur_us, Some(28));
+        assert_eq!(validate_trace_line(instant).unwrap().thread, "worker-0");
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // dur_us on an open event.
+        assert!(validate_trace_line(
+            r#"{"ev":"open","t_us":1,"span":1,"parent":0,"thread":"m","name":"x","dur_us":3,"fields":{}}"#
+        )
+        .is_err());
+        // Missing dur_us on close.
+        assert!(validate_trace_line(
+            r#"{"ev":"close","t_us":1,"span":1,"parent":0,"thread":"m","name":"x","fields":{}}"#
+        )
+        .is_err());
+        // Instant with a span id.
+        assert!(validate_trace_line(
+            r#"{"ev":"instant","t_us":1,"span":4,"parent":0,"thread":"m","name":"x","fields":{}}"#
+        )
+        .is_err());
+        // Non-scalar field.
+        assert!(validate_trace_line(
+            r#"{"ev":"instant","t_us":1,"span":0,"parent":0,"thread":"m","name":"x","fields":{"a":[1]}}"#
+        )
+        .is_err());
+        // Unknown kind.
+        assert!(validate_trace_line(
+            r#"{"ev":"begin","t_us":1,"span":1,"parent":0,"thread":"m","name":"x","fields":{}}"#
+        )
+        .is_err());
+    }
+}

@@ -71,15 +71,24 @@ where
     }
     let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Observability only: workers label their events `worker-{w}` and parent
+    // them under the span open at the fan-out site, so a trace reconstructs
+    // the parallel schedule. Results are written to indexed slots regardless,
+    // so tracing can never affect the returned vector.
+    let parent_span = contrarc_obs::current_span();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
+        for w in 0..threads {
+            let (slots, cursor, f) = (&slots, &cursor, &f);
+            scope.spawn(move || {
+                let _obs = contrarc_obs::worker_scope(w, parent_span);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
                 }
-                let r = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
     });

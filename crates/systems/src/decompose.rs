@@ -9,7 +9,7 @@
 
 use crate::rpl::{build, RplConfig, RplLines};
 use contrarc::gen::build_flow_model;
-use contrarc::{explore, Exploration, ExploreError, ExplorerConfig};
+use contrarc::{explore, Exploration, ExplorationStats, ExploreError, ExplorerConfig};
 use contrarc_contracts::RefinementChecker;
 use std::time::Instant;
 
@@ -23,7 +23,12 @@ pub struct DecomposedResult {
     /// Whether line B's composition refines the aggregated Comb B contract
     /// (the compatibility check of Section V-A).
     pub compatibility_ok: bool,
-    /// Combined wall-clock seconds (A + B + compatibility check).
+    /// Seconds spent in the final compatibility refinement check.
+    pub compat_time: f64,
+    /// Wall-clock seconds for the whole decomposed run (problem building,
+    /// both line explorations, and the compatibility check) — measured at
+    /// this level, not summed from the sub-runs, so nothing is under-counted
+    /// when a line exits early.
     pub total_time: f64,
 }
 
@@ -34,6 +39,28 @@ impl DecomposedResult {
         match (self.line_a.architecture(), self.line_b.architecture()) {
             (Some(a), Some(b)) if self.compatibility_ok => Some(a.cost() + b.cost()),
             _ => None,
+        }
+    }
+
+    /// Aggregate statistics across both sub-runs, comparable with a
+    /// monolithic exploration's stats: work counters and phase times are
+    /// summed (the compatibility check counts as refinement time), while
+    /// `total_time` is the decomposed run's own wall clock.
+    #[must_use]
+    pub fn combined_stats(&self) -> ExplorationStats {
+        let a = self.line_a.stats();
+        let b = self.line_b.stats();
+        ExplorationStats {
+            iterations: a.iterations + b.iterations,
+            cuts_added: a.cuts_added + b.cuts_added,
+            milp_vars: a.milp_vars + b.milp_vars,
+            milp_constraints: a.milp_constraints + b.milp_constraints,
+            milp_time: a.milp_time + b.milp_time,
+            refine_time: a.refine_time + b.refine_time + self.compat_time,
+            cert_time: a.cert_time + b.cert_time,
+            total_time: self.total_time,
+            cache_hits: a.cache_hits + b.cache_hits,
+            cache_misses: a.cache_misses + b.cache_misses,
         }
     }
 }
@@ -49,47 +76,61 @@ pub fn explore_decomposed(
 ) -> Result<DecomposedResult, ExploreError> {
     let start = Instant::now();
     let problem_a = build(config, RplLines::LineA);
-    let line_a = explore(&problem_a, explorer_config)?;
+    let line_a = {
+        let _span = contrarc_obs::span!("decompose.line", line = "A");
+        explore(&problem_a, explorer_config)?
+    };
     if line_a.architecture().is_none() {
         // Line A already failed; synthesizing line B (same library, same
-        // budgets) cannot rescue the system.
-        let stats = *line_a.stats();
+        // budgets) cannot rescue the system. The run's wall clock is still
+        // measured here (not copied from line A's stats, which would miss
+        // the problem-building time around the exploration).
         return Ok(DecomposedResult {
             line_a,
             line_b: Exploration::Infeasible {
-                stats: contrarc::ExplorationStats::default(),
+                stats: ExplorationStats::default(),
             },
             compatibility_ok: false,
-            total_time: stats.total_time,
+            compat_time: 0.0,
+            total_time: start.elapsed().as_secs_f64(),
         });
     }
 
     let problem_b = build(config, RplLines::LineB);
-    let line_b = explore(&problem_b, explorer_config)?;
+    let line_b = {
+        let _span = contrarc_obs::span!("decompose.line", line = "B");
+        explore(&problem_b, explorer_config)?
+    };
 
     // Compatibility: the selected line B must refine the aggregated Comb B
     // flow contract that line A's synthesis assumed (its supply/consumption
     // envelope). This is one refinement query on the final architecture.
+    let t_compat = Instant::now();
     let compatibility_ok = match line_b.architecture() {
         Some(arch) => {
+            let mut span = contrarc_obs::span!("decompose.compat");
             let model = build_flow_model(&problem_b, arch);
             let checker = RefinementChecker::new();
-            checker
+            let holds = checker
                 .check(
                     &model.vocabulary,
                     &model.composition(),
                     &model.system_contract,
                 )
                 .map(|r| r.holds())
-                .map_err(ExploreError::from)?
+                .map_err(ExploreError::from)?;
+            span.record("holds", holds);
+            holds
         }
         None => false,
     };
+    let compat_time = t_compat.elapsed().as_secs_f64();
 
     Ok(DecomposedResult {
         line_a,
         line_b,
         compatibility_ok,
+        compat_time,
         total_time: start.elapsed().as_secs_f64(),
     })
 }
@@ -138,6 +179,39 @@ mod tests {
         assert!(!dec.compatibility_ok);
         // Early-out: line B is not explored once line A fails.
         assert_eq!(dec.line_b.stats().iterations, 0);
+        // The run's wall clock covers at least line A's exploration — the
+        // early return must not under-count it.
+        assert!(
+            dec.total_time >= dec.line_a.stats().total_time,
+            "total {} < line A {}",
+            dec.total_time,
+            dec.line_a.stats().total_time
+        );
+        assert_eq!(dec.compat_time, 0.0, "no compatibility check ran");
+    }
+
+    #[test]
+    fn combined_stats_aggregate_both_lines() {
+        let config = RplConfig::default();
+        let dec = explore_decomposed(&config, &ExplorerConfig::complete()).unwrap();
+        let combined = dec.combined_stats();
+        assert_eq!(
+            combined.iterations,
+            dec.line_a.stats().iterations + dec.line_b.stats().iterations
+        );
+        assert_eq!(
+            combined.milp_vars,
+            dec.line_a.stats().milp_vars + dec.line_b.stats().milp_vars
+        );
+        assert!((combined.total_time - dec.total_time).abs() < 1e-12);
+        assert!(
+            combined.refine_time >= dec.line_a.stats().refine_time + dec.line_b.stats().refine_time,
+            "compatibility check must count as refinement time"
+        );
+        // Wall clock dominates the sum of sub-run wall clocks.
+        assert!(
+            dec.total_time >= dec.line_a.stats().total_time + dec.line_b.stats().total_time - 1e-9
+        );
     }
 
     #[test]

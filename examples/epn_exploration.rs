@@ -4,12 +4,18 @@
 //! Table II and prints the comparison.
 //!
 //! Run with: `cargo run --example epn_exploration [L R APU]`
+//!
+//! Set `CONTRARC_TRACE=path.jsonl` to capture a structured span/event trace
+//! of the whole run (see DESIGN.md, "Observability").
 
 use contrarc::report::render_table;
 use contrarc::{explore, ExplorerConfig};
 use contrarc_systems::epn::{build, EpnConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Err(e) = contrarc_obs::init_from_env() {
+        eprintln!("warning: CONTRARC_TRACE setup failed ({e}); continuing untraced");
+    }
     let args: Vec<usize> = std::env::args()
         .skip(1)
         .map(|s| s.parse().expect("L R APU must be numbers"))
@@ -56,5 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(arch) = complete.architecture() {
         println!("\nselected architecture:\n{}", arch.describe(&problem));
     }
+    contrarc_obs::flush_sink();
     Ok(())
 }

@@ -5,6 +5,9 @@
 //! (Comb B) decomposition, then prints a comparison.
 //!
 //! Run with: `cargo run --example rpl_exploration [n]`
+//!
+//! Set `CONTRARC_TRACE=path.jsonl` to capture a structured span/event trace
+//! of the whole run (see DESIGN.md, "Observability").
 
 use contrarc::baseline::solve_monolithic;
 use contrarc::report::render_table;
@@ -14,6 +17,9 @@ use contrarc_systems::decompose::{explore_decomposed, explore_monolithic};
 use contrarc_systems::rpl::{build, RplConfig, RplLines};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Err(e) = contrarc_obs::init_from_env() {
+        eprintln!("warning: CONTRARC_TRACE setup failed ({e}); continuing untraced");
+    }
     let n: usize = std::env::args()
         .nth(1)
         .map_or(1, |s| s.parse().expect("n must be a number"));
@@ -77,5 +83,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write("rpl_architecture.dot", dot)?;
         println!("Graphviz rendering written to rpl_architecture.dot");
     }
+    contrarc_obs::flush_sink();
     Ok(())
 }

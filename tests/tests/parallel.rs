@@ -76,6 +76,37 @@ fn epn_exploration_is_identical_for_1_2_8_threads() {
 }
 
 #[test]
+fn tracing_never_steers_the_exploration() {
+    // A live sink must be purely observational: the full thread-count
+    // invariant (optimum, cut set, counters — bit for bit) holds with
+    // tracing enabled exactly as it does disabled, and the sink really
+    // sees the traffic. The sink is defined locally to double as a check
+    // that the `Sink` trait is implementable outside `contrarc-obs`.
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink(AtomicU64);
+    impl contrarc_obs::Sink for CountingSink {
+        fn record(&self, _event: &contrarc_obs::Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let p = rpl::build(&RplConfig::default(), RplLines::Both);
+    let sink = std::sync::Arc::new(CountingSink::default());
+    contrarc_obs::with_sink(std::sync::Arc::<CountingSink>::clone(&sink), || {
+        assert_thread_count_invariant(&p);
+    });
+    assert!(
+        sink.0.load(Ordering::Relaxed) > 0,
+        "sink saw no events while tracing was enabled"
+    );
+    // And once more with the sink gone, to pin down that the invariant
+    // holds identically on the disabled fast path.
+    assert_thread_count_invariant(&p);
+}
+
+#[test]
 fn budget_exhaustion_mid_parallel_yields_partial_not_panic() {
     let p = rpl::build(&RplConfig::default(), RplLines::Both);
 
