@@ -1,27 +1,53 @@
 //! Bench smoke for the parallel exploration engine (not part of the paper).
 //!
-//! Explores a small RPL instance at `threads = 1` (the serial baseline) and
-//! `threads = 0` (every available core) and writes `BENCH_explore.json`
-//! recording per-phase wall-clock times, the refinement-cache hit rate, the
-//! parallel speedup, a metrics block (counters and histograms from the
-//! observability registry), and the measured `NoopSink` overhead ratio. CI
-//! runs this as a smoke check that the parallel engine reproduces the serial
-//! optimum; the speedup figure is only meaningful on a multi-core runner, so
-//! the core count is recorded next to it.
+//! Explores two instances — the default two-line RPL template and the
+//! default EPN template — each at `threads = 1` (the serial baseline),
+//! `threads = 2` (a fixed multi-thread point, meaningful even when CI
+//! pins the job to one core), and `threads = 0` (every available core),
+//! and writes `BENCH_explore.json` recording per-phase wall-clock times,
+//! the refinement-cache hit rate, per-case parallel speedups, a metrics
+//! block (counters and histograms from the observability registry), and
+//! the measured `NoopSink` overhead ratio. CI runs this as a smoke check
+//! that every thread count reproduces the serial optimum bit for bit; the
+//! speedup figures are only meaningful on a multi-core runner, so the core
+//! count is recorded next to them.
 //!
 //! Usage: `explore_bench [--trace-folded] [output-path]`
 //! (default `BENCH_explore.json`).
 //!
-//! `--trace-folded` prints flamegraph.pl-compatible collapsed stacks for the
-//! two runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
+//! `--trace-folded` prints flamegraph.pl-compatible collapsed stacks for
+//! all runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
 //! `CONTRARC_TRACE=path.jsonl` writes the full JSONL trace instead.
 
-use contrarc::{explore, ExplorationStats, ExplorerConfig};
+use contrarc::{explore, ExplorationStats, ExplorerConfig, Problem};
 use contrarc_obs::event;
 use contrarc_obs::sinks::{CollapsedStackSink, NoopSink};
-use contrarc_systems::rpl::{build, RplConfig, RplLines};
+use contrarc_systems::epn::{build as build_epn, EpnConfig};
+use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Thread counts every case is explored at: serial baseline, a fixed
+/// two-thread point, and all available cores.
+const THREAD_POINTS: [usize; 3] = [1, 2, 0];
+
+struct Case {
+    name: &'static str,
+    problem: Problem,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "rpl-default-both",
+            problem: build_rpl(&RplConfig::default(), RplLines::Both),
+        },
+        Case {
+            name: "epn-1-0-0",
+            problem: build_epn(&EpnConfig::default()),
+        },
+    ]
+}
 
 struct Run {
     threads: usize,
@@ -31,18 +57,17 @@ struct Run {
     stats: ExplorationStats,
 }
 
-fn run_once(threads: usize) -> Run {
-    let p = build(&RplConfig::default(), RplLines::Both);
+fn run_once(problem: &Problem, threads: usize) -> Run {
     let cfg = ExplorerConfig {
         threads,
         ..ExplorerConfig::complete()
     };
     let t0 = Instant::now();
-    let result = explore(&p, &cfg).expect("exploration failed");
+    let result = explore(problem, &cfg).expect("exploration failed");
     let wall_secs = t0.elapsed().as_secs_f64();
     let cost = result
         .architecture()
-        .expect("RPL default instance is feasible")
+        .expect("bench instances are feasible")
         .cost();
     Run {
         threads,
@@ -63,20 +88,20 @@ fn json_run(r: &Run) -> String {
     };
     format!(
         concat!(
-            "    {{\n",
-            "      \"threads\": {},\n",
-            "      \"effective_threads\": {},\n",
-            "      \"wall_secs\": {:.6},\n",
-            "      \"milp_secs\": {:.6},\n",
-            "      \"refine_secs\": {:.6},\n",
-            "      \"cert_secs\": {:.6},\n",
-            "      \"iterations\": {},\n",
-            "      \"cuts_added\": {},\n",
-            "      \"cache_hits\": {},\n",
-            "      \"cache_misses\": {},\n",
-            "      \"cache_hit_rate\": {:.4},\n",
-            "      \"optimum\": {:.6}\n",
-            "    }}"
+            "        {{\n",
+            "          \"threads\": {},\n",
+            "          \"effective_threads\": {},\n",
+            "          \"wall_secs\": {:.6},\n",
+            "          \"milp_secs\": {:.6},\n",
+            "          \"refine_secs\": {:.6},\n",
+            "          \"cert_secs\": {:.6},\n",
+            "          \"iterations\": {},\n",
+            "          \"cuts_added\": {},\n",
+            "          \"cache_hits\": {},\n",
+            "          \"cache_misses\": {},\n",
+            "          \"cache_hit_rate\": {:.4},\n",
+            "          \"optimum\": {:.6}\n",
+            "        }}"
         ),
         r.threads,
         r.effective_threads,
@@ -93,20 +118,56 @@ fn json_run(r: &Run) -> String {
     )
 }
 
-/// Minimum wall-clock over `runs` serial explorations.
-fn min_wall(runs: usize) -> f64 {
+/// Explore one case at every thread point, assert cross-thread determinism,
+/// and render its JSON object.
+fn bench_case(case: &Case) -> String {
+    let runs: Vec<Run> = THREAD_POINTS
+        .iter()
+        .map(|&t| run_once(&case.problem, t))
+        .collect();
+    let serial = &runs[0];
+    for run in &runs[1..] {
+        assert_eq!(
+            serial.cost.to_bits(),
+            run.cost.to_bits(),
+            "case {}: optimum at threads={} must be bit-identical to serial",
+            case.name,
+            run.threads,
+        );
+        assert_eq!(serial.stats.iterations, run.stats.iterations);
+        assert_eq!(serial.stats.cuts_added, run.stats.cuts_added);
+    }
+    let max_threads = runs.last().expect("thread points nonempty");
+    let speedup = serial.wall_secs / max_threads.wall_secs.max(1e-12);
+    let rendered: Vec<String> = runs.iter().map(json_run).collect();
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"case\": \"{}\",\n",
+            "      \"speedup_serial_over_max_threads\": {:.4},\n",
+            "      \"runs\": [\n{}\n      ]\n",
+            "    }}"
+        ),
+        case.name,
+        speedup,
+        rendered.join(",\n"),
+    )
+}
+
+/// Minimum wall-clock over `runs` serial explorations of the RPL case.
+fn min_wall(problem: &Problem, runs: usize) -> f64 {
     (0..runs)
-        .map(|_| run_once(1).wall_secs)
+        .map(|_| run_once(problem, 1).wall_secs)
         .fold(f64::INFINITY, f64::min)
 }
 
 /// Measure the `NoopSink` overhead: serial exploration with no sink at all
 /// versus with a `NoopSink` installed (which keeps the disabled fast path —
 /// one relaxed atomic load per site). Returns `min(noop) / min(bare)`.
-fn measure_noop_overhead() -> (f64, f64, f64) {
+fn measure_noop_overhead(problem: &Problem) -> (f64, f64, f64) {
     let previous = contrarc_obs::uninstall_sink();
-    let bare = min_wall(2);
-    let noop = contrarc_obs::with_sink(Arc::new(NoopSink), || min_wall(2));
+    let bare = min_wall(problem, 2);
+    let noop = contrarc_obs::with_sink(Arc::new(NoopSink), || min_wall(problem, 2));
     if let Some(sink) = previous {
         contrarc_obs::install_sink(sink);
     }
@@ -133,47 +194,37 @@ fn main() {
         None
     };
 
-    // Serial baseline first, then all cores; warm-up runs excluded on
-    // purpose — this is a smoke check, not a statistical benchmark. The
-    // metrics registry is enabled around both runs and its snapshot embedded
-    // in the report.
-    let ((serial, parallel), metrics) =
-        contrarc_obs::metrics::with_metrics(|| (run_once(1), run_once(0)));
-
-    assert_eq!(
-        serial.cost.to_bits(),
-        parallel.cost.to_bits(),
-        "parallel optimum must be bit-identical to serial"
-    );
-    assert_eq!(serial.stats.iterations, parallel.stats.iterations);
-    assert_eq!(serial.stats.cuts_added, parallel.stats.cuts_added);
+    // All cases at all thread points; warm-up runs excluded on purpose —
+    // this is a smoke check, not a statistical benchmark. The metrics
+    // registry is enabled around the runs and its snapshot embedded in the
+    // report.
+    let cases = cases();
+    let (case_json, metrics) = contrarc_obs::metrics::with_metrics(|| {
+        cases.iter().map(bench_case).collect::<Vec<String>>()
+    });
 
     // Overhead guard: an installed NoopSink must be free (within noise).
-    let (noop_ratio, bare_secs, noop_secs) = measure_noop_overhead();
+    let (noop_ratio, bare_secs, noop_secs) = measure_noop_overhead(&cases[0].problem);
     assert!(
         noop_ratio < 1.05 || (noop_secs - bare_secs).abs() < 0.05,
         "NoopSink overhead out of bounds: bare {bare_secs:.3}s vs noop {noop_secs:.3}s \
          (ratio {noop_ratio:.3})"
     );
 
-    let speedup = serial.wall_secs / parallel.wall_secs.max(1e-12);
     let json = format!(
         concat!(
             "{{\n",
-            "  \"case\": \"rpl-default-both\",\n",
             "  \"cores\": {},\n",
-            "  \"speedup_serial_over_max_threads\": {:.4},\n",
+            "  \"thread_points\": [1, 2, 0],\n",
             "  \"noop_overhead_ratio\": {:.4},\n",
             "  \"metrics\": {},\n",
-            "  \"runs\": [\n{},\n{}\n  ]\n",
+            "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),
         contrarc_par::available_parallelism(),
-        speedup,
         noop_ratio,
         metrics.to_json(),
-        json_run(&serial),
-        json_run(&parallel),
+        case_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
 
@@ -183,10 +234,8 @@ fn main() {
     }
     event!(
         "explore_bench.done",
-        serial_secs = serial.wall_secs,
-        parallel_secs = parallel.wall_secs,
+        cases = case_json.len(),
         cores = contrarc_par::available_parallelism(),
-        speedup = speedup,
         noop_overhead_ratio = noop_ratio,
         out = out_path,
     );

@@ -268,6 +268,16 @@ impl ExplorerCheckpoint {
         let pivots_used = parse_int(ln, pivots)?;
         let (ln, na) = field(&mut lines, "aux_vars")?;
         let num_aux: usize = parse_int(ln, na)?;
+        // Counts come from untrusted text: a corrupt record must produce a
+        // parse error, never an unbounded pre-allocation. Each record is at
+        // least one line, so any count beyond the remaining line supply is
+        // provably truncated input.
+        if num_aux > lines.len() {
+            return Err(err(
+                ln,
+                format!("aux var count {num_aux} exceeds remaining input"),
+            ));
+        }
         let mut aux_vars = Vec::with_capacity(num_aux);
         for _ in 0..num_aux {
             let (ln, line) = lines
@@ -295,7 +305,12 @@ impl ExplorerCheckpoint {
         }
         let (ln, nc) = field(&mut lines, "cuts")?;
         let num_cuts: usize = parse_int(ln, nc)?;
-
+        if num_cuts > lines.len() {
+            return Err(err(
+                ln,
+                format!("cut count {num_cuts} exceeds remaining input"),
+            ));
+        }
         let mut cuts = Vec::with_capacity(num_cuts);
         for _ in 0..num_cuts {
             let (ln, line) = lines.next().ok_or_else(|| err(0, "truncated cut list"))?;
@@ -310,6 +325,11 @@ impl ExplorerCheckpoint {
                 tok.next()
                     .ok_or_else(|| err(ln, "cut missing term count"))?,
             )?;
+            // Each term is at least two bytes of the record head; cap the
+            // pre-allocation by what the line can physically hold.
+            if nterms > head.len() {
+                return Err(err(ln, format!("term count {nterms} exceeds record size")));
+            }
             let mut terms = Vec::with_capacity(nterms);
             for _ in 0..nterms {
                 let t = tok.next().ok_or_else(|| err(ln, "cut truncated"))?;

@@ -290,6 +290,10 @@ pub enum StopReason {
         /// The configured pivot allowance.
         limit: u64,
     },
+    /// The exploration was cancelled by an external request (e.g. a job
+    /// server draining or a client abandoning the job). The incumbent and
+    /// lower bound harvested at the cancellation point remain valid.
+    Cancelled,
 }
 
 impl StopReason {
@@ -304,6 +308,55 @@ impl StopReason {
             SolveError::IterationLimit { limit } => Some(StopReason::PivotLimit { limit: *limit }),
             SolveError::NodeLimit { limit } => Some(StopReason::NodeLimit { limit: *limit }),
             _ => None,
+        }
+    }
+
+    /// Compact machine-readable tag, round-trippable via
+    /// [`StopReason::from_tag`]. Integer limits are decimal; the time limit
+    /// uses its 16-hex-digit IEEE-754 bit pattern so the round trip is
+    /// bit-exact (the same convention as the checkpoint stats line).
+    #[must_use]
+    pub fn to_tag(&self) -> String {
+        match self {
+            StopReason::IterationLimit { limit } => format!("iter:{limit}"),
+            StopReason::TimeLimit { limit_secs } => {
+                format!("time:{:016x}", limit_secs.to_bits())
+            }
+            StopReason::NodeLimit { limit } => format!("node:{limit}"),
+            StopReason::PivotLimit { limit } => format!("pivot:{limit}"),
+            StopReason::Cancelled => "cancel".to_string(),
+        }
+    }
+
+    /// Parse a tag produced by [`StopReason::to_tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed tag.
+    pub fn from_tag(tag: &str) -> Result<StopReason, String> {
+        if tag == "cancel" {
+            return Ok(StopReason::Cancelled);
+        }
+        let (kind, value) = tag
+            .split_once(':')
+            .ok_or_else(|| format!("bad stop-reason tag '{tag}'"))?;
+        let bad = || format!("bad stop-reason value in '{tag}'");
+        match kind {
+            "iter" => Ok(StopReason::IterationLimit {
+                limit: value.parse().map_err(|_| bad())?,
+            }),
+            "time" => Ok(StopReason::TimeLimit {
+                limit_secs: u64::from_str_radix(value, 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| bad())?,
+            }),
+            "node" => Ok(StopReason::NodeLimit {
+                limit: value.parse().map_err(|_| bad())?,
+            }),
+            "pivot" => Ok(StopReason::PivotLimit {
+                limit: value.parse().map_err(|_| bad())?,
+            }),
+            _ => Err(format!("unknown stop-reason kind '{kind}'")),
         }
     }
 }
@@ -323,6 +376,7 @@ impl fmt::Display for StopReason {
             StopReason::PivotLimit { limit } => {
                 write!(f, "simplex pivot budget of {limit} exhausted")
             }
+            StopReason::Cancelled => write!(f, "cancelled by request"),
         }
     }
 }
@@ -446,6 +500,9 @@ pub enum ExploreError {
     /// A checkpoint is internally inconsistent (e.g. a cut referencing a
     /// variable the encoding does not have).
     CheckpointInvalid(String),
+    /// Checkpoint text failed to parse (truncated, garbage, or otherwise
+    /// malformed input that never became an [`ExplorerCheckpoint`]).
+    CheckpointParse(crate::checkpoint::CheckpointParseError),
 }
 
 impl fmt::Display for ExploreError {
@@ -463,6 +520,7 @@ impl fmt::Display for ExploreError {
                 "checkpoint fingerprint {expected:016x} does not match problem/config {found:016x}"
             ),
             ExploreError::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+            ExploreError::CheckpointParse(e) => write!(f, "unreadable checkpoint: {e}"),
         }
     }
 }
@@ -471,6 +529,7 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Solve(e) => Some(e),
+            ExploreError::CheckpointParse(e) => Some(e),
             _ => None,
         }
     }
@@ -740,6 +799,27 @@ impl<'p> Explorer<'p> {
         Ok(ex)
     }
 
+    /// [`Explorer::resume`] from serialized checkpoint text (the format of
+    /// [`ExplorerCheckpoint::to_text`]), folding parse failures into the
+    /// structured error space: truncated, garbage, or fingerprint-mismatched
+    /// input returns an [`ExploreError`] — never a panic, and never a
+    /// silently misparsed checkpoint (the text format is length-prefixed and
+    /// validated record by record).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::CheckpointParse`] for unparseable text, plus every
+    /// error [`Explorer::resume`] can return.
+    pub fn resume_from_text(
+        problem: &'p Problem,
+        config: ExplorerConfig,
+        text: &str,
+    ) -> Result<Self, ExploreError> {
+        let checkpoint =
+            ExplorerCheckpoint::from_text(text).map_err(ExploreError::CheckpointParse)?;
+        Explorer::resume(problem, config, &checkpoint)
+    }
+
     /// Snapshot everything the exploration has learned — certificate cuts,
     /// the objective floor, counters, statistics — into a serializable
     /// checkpoint that [`Explorer::resume`] can continue from, possibly in a
@@ -792,6 +872,14 @@ impl<'p> Explorer<'p> {
     #[must_use]
     pub fn stats(&self) -> &ExplorationStats {
         &self.stats
+    }
+
+    /// Whether a terminal step has been taken (calling [`Explorer::step`]
+    /// again would panic). External drivers — e.g. a job server stepping the
+    /// loop with its own checkpoint cadence — use this to gate their loop.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     /// The exploration-wide budget (shared deadline and work counters).
@@ -1345,6 +1433,165 @@ mod tests {
         assert!(text.contains("iterations"));
         assert!(result.stats().milp_vars > 0);
         assert!(result.stats().milp_constraints > 0);
+    }
+
+    /// Every `StopReason` variant, for exhaustiveness-style tests. Extending
+    /// the enum must extend this list (the match below fails to compile
+    /// otherwise).
+    fn all_stop_reasons() -> Vec<StopReason> {
+        let variants = vec![
+            StopReason::IterationLimit { limit: 7 },
+            StopReason::TimeLimit {
+                limit_secs: 0.1 + 0.2, // not exactly representable
+            },
+            StopReason::NodeLimit { limit: 9 },
+            StopReason::PivotLimit { limit: 11 },
+            StopReason::Cancelled,
+        ];
+        for v in &variants {
+            // Force a compile error here when a new variant is missing above.
+            match v {
+                StopReason::IterationLimit { .. }
+                | StopReason::TimeLimit { .. }
+                | StopReason::NodeLimit { .. }
+                | StopReason::PivotLimit { .. }
+                | StopReason::Cancelled => {}
+            }
+        }
+        variants
+    }
+
+    #[test]
+    fn stop_reason_display_is_distinct_and_nonempty_for_every_variant() {
+        let texts: Vec<String> = all_stop_reasons().iter().map(ToString::to_string).collect();
+        for (i, t) in texts.iter().enumerate() {
+            assert!(!t.is_empty());
+            for u in &texts[i + 1..] {
+                assert_ne!(t, u, "two variants render identically");
+            }
+        }
+        assert!(texts[0].contains("iteration cap"));
+        assert!(texts[1].contains("wall-clock"));
+        assert!(texts[2].contains("node budget"));
+        assert!(texts[3].contains("pivot budget"));
+        assert!(texts[4].contains("cancelled"));
+    }
+
+    #[test]
+    fn stop_reason_tag_round_trips_every_variant_bit_exactly() {
+        for reason in all_stop_reasons() {
+            let back = StopReason::from_tag(&reason.to_tag()).unwrap();
+            assert_eq!(back, reason, "tag {}", reason.to_tag());
+        }
+        // Bit-exactness beyond PartialEq for the f64-carrying variant.
+        let awkward = StopReason::TimeLimit {
+            limit_secs: f64::MIN_POSITIVE,
+        };
+        let StopReason::TimeLimit { limit_secs } = StopReason::from_tag(&awkward.to_tag()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(limit_secs.to_bits(), f64::MIN_POSITIVE.to_bits());
+        for bad in ["", "iter", "iter:x", "time:zz", "warp:3", "cancel:1"] {
+            assert!(StopReason::from_tag(bad).is_err(), "tag '{bad}' accepted");
+        }
+    }
+
+    #[test]
+    fn from_solve_error_maps_budget_exhaustion_and_nothing_else() {
+        let cases = vec![
+            (
+                SolveError::TimeLimit { limit_secs: 2.5 },
+                Some(StopReason::TimeLimit { limit_secs: 2.5 }),
+            ),
+            (
+                SolveError::IterationLimit { limit: 3 },
+                Some(StopReason::PivotLimit { limit: 3 }),
+            ),
+            (
+                SolveError::NodeLimit { limit: 4 },
+                Some(StopReason::NodeLimit { limit: 4 }),
+            ),
+            (SolveError::InvalidModel("x".into()), None),
+            (SolveError::Numerical("y".into()), None),
+        ];
+        for (e, expected) in cases {
+            assert_eq!(StopReason::from_solve_error(&e), expected, "{e}");
+        }
+    }
+
+    #[test]
+    fn resume_from_text_round_trips_a_real_checkpoint() {
+        let p = lines_problem(15.0);
+        let mut ex = Explorer::new(
+            &p,
+            ExplorerConfig {
+                max_iterations: 1,
+                ..ExplorerConfig::complete()
+            },
+        )
+        .unwrap();
+        while !matches!(ex.step().unwrap(), Step::Exhausted(_)) {}
+        let text = ex.checkpoint().to_text();
+        let resumed = Explorer::resume_from_text(&p, ExplorerConfig::complete(), &text).unwrap();
+        let result = resumed.run().unwrap();
+        assert!(result.architecture().is_some());
+    }
+
+    #[test]
+    fn resume_from_text_rejects_every_corruption_mode_structurally() {
+        let p = lines_problem(15.0);
+        let ex = Explorer::new(&p, ExplorerConfig::complete()).unwrap();
+        let good = ex.checkpoint().to_text();
+
+        // Truncation at every byte boundary that removes content (cutting
+        // only the trailing newline leaves a complete document): never a
+        // panic, never a silent misparse — every other prefix must error.
+        for cut in 0..good.trim_end().len() {
+            let truncated = &good[..cut];
+            let err = Explorer::resume_from_text(&p, ExplorerConfig::complete(), truncated)
+                .expect_err("truncated checkpoint accepted");
+            assert!(
+                matches!(err, ExploreError::CheckpointParse(_)),
+                "byte {cut}: unexpected error {err:?}"
+            );
+        }
+
+        // Garbage.
+        for garbage in [
+            "",
+            "not a checkpoint",
+            "\0\0\0\0",
+            "contrarc-checkpoint v999\n",
+        ] {
+            let err = Explorer::resume_from_text(&p, ExplorerConfig::complete(), garbage)
+                .expect_err("garbage accepted");
+            assert!(matches!(err, ExploreError::CheckpointParse(_)));
+        }
+
+        // Fingerprint mismatch: a checkpoint of a different problem.
+        let other = lines_problem(50.0);
+        let other_text = Explorer::new(&other, ExplorerConfig::complete())
+            .unwrap()
+            .checkpoint()
+            .to_text();
+        let err = Explorer::resume_from_text(&p, ExplorerConfig::complete(), &other_text)
+            .expect_err("mismatched checkpoint accepted");
+        assert!(matches!(err, ExploreError::CheckpointMismatch { .. }));
+
+        // Hostile record counts must not pre-allocate unboundedly.
+        for (from, to) in [
+            ("aux_vars 0", "aux_vars 987654321987654321"),
+            ("cuts 0", "cuts 987654321987654321"),
+        ] {
+            let hostile = good.replace(from, to);
+            if hostile == good {
+                continue;
+            }
+            let err = Explorer::resume_from_text(&p, ExplorerConfig::complete(), &hostile)
+                .expect_err("hostile count accepted");
+            assert!(matches!(err, ExploreError::CheckpointParse(_)));
+        }
     }
 
     fn awkward_stats() -> ExplorationStats {

@@ -99,6 +99,17 @@ pub fn render_metrics(report: &contrarc_obs::metrics::MetricsReport) -> String {
             .collect();
         out.push_str(&render_table(&["counter", "value"], &rows));
     }
+    if !report.gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let rows: Vec<Vec<String>> = report
+            .gauges
+            .iter()
+            .map(|g| vec![g.name.to_string(), g.value.to_string(), g.max.to_string()])
+            .collect();
+        out.push_str(&render_table(&["gauge", "value", "max"], &rows));
+    }
     if !report.histograms.is_empty() {
         if !out.is_empty() {
             out.push('\n');
@@ -230,12 +241,19 @@ mod tests {
 
     #[test]
     fn metrics_tables_render() {
-        use contrarc_obs::metrics::{CounterSnapshot, HistogramSnapshot, MetricsReport};
+        use contrarc_obs::metrics::{
+            CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsReport,
+        };
         assert!(render_metrics(&MetricsReport::default()).contains("no metrics"));
         let report = MetricsReport {
             counters: vec![CounterSnapshot {
                 name: "milp.nodes",
                 value: 12,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "serve.queue.depth",
+                value: 2,
+                max: 5,
             }],
             histograms: vec![HistogramSnapshot {
                 name: "milp.node_depth",
@@ -251,6 +269,7 @@ mod tests {
         assert!(text.contains("milp.nodes"));
         assert!(text.contains("12"));
         assert!(text.contains("milp.node_depth"));
+        assert!(text.contains("serve.queue.depth"));
         assert!(text.contains("1.5000"), "mean column expected: {text}");
     }
 

@@ -34,14 +34,22 @@ struct Hist {
     max: f64,
 }
 
+struct Gauge {
+    value: i64,
+    /// High-water mark since the last reset (e.g. peak queue depth).
+    max: i64,
+}
+
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
     hists: BTreeMap<&'static str, Hist>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
     hists: BTreeMap::new(),
 });
 
@@ -58,10 +66,11 @@ pub fn set_metrics_enabled(on: bool) {
     METRICS_ON.store(on, Ordering::SeqCst);
 }
 
-/// Clear every counter and histogram.
+/// Clear every counter, gauge, and histogram.
 pub fn reset_metrics() {
     let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
     reg.counters.clear();
+    reg.gauges.clear();
     reg.hists.clear();
 }
 
@@ -102,6 +111,33 @@ pub fn observe_hist(name: &'static str, bounds: &'static [f64], value: f64) {
     hist.max = hist.max.max(value);
 }
 
+/// Set the named gauge to an absolute value, tracking its high-water mark
+/// (e.g. live queue depth and peak queue depth). No-op while disabled.
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    let gauge = reg
+        .gauges
+        .entry(name)
+        .or_insert(Gauge { value, max: value });
+    gauge.value = value;
+    gauge.max = gauge.max.max(value);
+}
+
+/// Adjust the named gauge by a signed delta (starting from 0), tracking its
+/// high-water mark. No-op while disabled.
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    let gauge = reg.gauges.entry(name).or_insert(Gauge { value: 0, max: 0 });
+    gauge.value += delta;
+    gauge.max = gauge.max.max(gauge.value);
+}
+
 /// Snapshot of one counter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSnapshot {
@@ -109,6 +145,17 @@ pub struct CounterSnapshot {
     pub name: &'static str,
     /// Current value.
     pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Last set value.
+    pub value: i64,
+    /// High-water mark since the last reset.
+    pub max: i64,
 }
 
 /// Snapshot of one histogram.
@@ -148,6 +195,8 @@ impl HistogramSnapshot {
 pub struct MetricsReport {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -156,7 +205,7 @@ impl MetricsReport {
     /// Whether nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// The value of a named counter, if present.
@@ -166,6 +215,12 @@ impl MetricsReport {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// The named gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.iter().find(|g| g.name == name)
     }
 
     /// The named histogram, if present.
@@ -184,6 +239,17 @@ impl MetricsReport {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{}", c.name, c.value);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"value\":{},\"max\":{}}}",
+                g.name, g.value, g.max
+            );
         }
         out.push_str("},\"histograms\":{");
         for (i, h) in self.histograms.iter().enumerate() {
@@ -236,6 +302,15 @@ pub fn snapshot() -> MetricsReport {
             .counters
             .iter()
             .map(|(&name, &value)| CounterSnapshot { name, value })
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(&name, g)| GaugeSnapshot {
+                name,
+                value: g.value,
+                max: g.max,
+            })
             .collect(),
         histograms: reg
             .hists
@@ -296,6 +371,30 @@ mod tests {
         assert_eq!(h.max, 9000.0);
         assert_eq!(*h.counts.last().unwrap(), 1, "overflow bucket used");
         assert_eq!(h.counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn gauges_track_value_and_high_water_mark() {
+        let ((), report) = with_metrics(|| {
+            gauge_add("test.depth", 3);
+            gauge_add("test.depth", 2);
+            gauge_add("test.depth", -4);
+            gauge_set("test.level", 9);
+            gauge_set("test.level", 1);
+        });
+        let depth = report.gauge("test.depth").unwrap();
+        assert_eq!(depth.value, 1);
+        assert_eq!(depth.max, 5);
+        let level = report.gauge("test.level").unwrap();
+        assert_eq!(level.value, 1);
+        assert_eq!(level.max, 9);
+        let doc = parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("test.depth"))
+                .and_then(|g| g.get("max")),
+            Some(&JsonValue::Num(5.0))
+        );
     }
 
     #[test]

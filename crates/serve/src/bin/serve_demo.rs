@@ -1,0 +1,95 @@
+//! Demonstration of the exploration job server: a multi-tenant workload
+//! with live incumbent streaming, a deliberately oversized submission
+//! rejected by admission control, a cancellation, and a final drain with
+//! aggregate metrics.
+//!
+//! ```text
+//! cargo run -p contrarc-serve --bin serve_demo
+//! ```
+
+use contrarc_obs::metrics::with_metrics;
+use contrarc_serve::{IncumbentEvent, JobServer, JobSpec, JobStatus, ServerConfig};
+use contrarc_systems::epn::{build as build_epn, EpnConfig};
+use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
+use std::sync::Arc;
+
+fn main() {
+    let ((), report) = with_metrics(run);
+    println!("\n== aggregate metrics ==");
+    println!("{}", report.to_json());
+}
+
+fn run() {
+    let server = JobServer::new(ServerConfig {
+        workers: 2,
+        capacity: 3.0,
+        queue_limit: 2.0,
+        on_incumbent: Some(Arc::new(|e: &IncumbentEvent| {
+            let bound = e
+                .lower_bound
+                .map_or("-".to_string(), |lb| format!("{lb:.2}"));
+            let tag = if e.verified { "optimal" } else { "incumbent" };
+            println!(
+                "  [{} {}] iter {:>3}  {tag} cost {:.2}  lower bound {bound}",
+                e.job, e.name, e.iteration, e.cost
+            );
+        })),
+        ..ServerConfig::default()
+    });
+
+    println!("== submitting tenants ==");
+    let rpl_a = server
+        .submit(JobSpec::new(
+            "rpl-line-a",
+            build_rpl(
+                &RplConfig {
+                    max_latency: 42.0,
+                    ..RplConfig::default()
+                },
+                RplLines::LineA,
+            ),
+        ))
+        .expect("admitted");
+    let rpl_b = server
+        .submit(JobSpec::new(
+            "rpl-line-b",
+            build_rpl(&RplConfig::default(), RplLines::LineB),
+        ))
+        .expect("admitted");
+    let epn = server
+        .submit(JobSpec::new("epn-1-0-0", build_epn(&EpnConfig::default())).with_weight(2.0))
+        .expect("admitted");
+
+    // Overload: this submission exceeds capacity + queue_limit and is
+    // rejected with a structured reason, not queued unboundedly.
+    match server
+        .submit(JobSpec::new("greedy-tenant", build_epn(&EpnConfig::default())).with_weight(2.0))
+    {
+        Err(reason) => println!("rejected greedy-tenant: {reason}"),
+        Ok(id) => println!("unexpectedly admitted as {id}"),
+    }
+
+    // A tenant changes its mind about line B.
+    server.cancel(rpl_b);
+
+    println!("== exploring ==");
+    for id in [rpl_a, rpl_b, epn] {
+        match server.wait(id).expect("known job") {
+            JobStatus::Done { result, recoveries } => {
+                let cost = result
+                    .incumbent()
+                    .map_or("-".to_string(), |a| format!("{:.2}", a.cost()));
+                println!(
+                    "{id}: done (cost {cost}, {} iterations, {recoveries} recoveries)",
+                    result.stats().iterations
+                );
+            }
+            JobStatus::Cancelled => println!("{id}: cancelled while queued"),
+            JobStatus::Quarantined { last_error, .. } => {
+                println!("{id}: quarantined ({last_error})");
+            }
+            status => println!("{id}: {status:?}"),
+        }
+    }
+    server.drain();
+}

@@ -1,0 +1,114 @@
+//! Per-job JSONL trace files.
+//!
+//! When [`ServerConfig::trace_dir`] is set, every job appends one JSON
+//! object per lifecycle event to `<dir>/job-<id>.jsonl`: submission,
+//! attempt starts (with the resume source), checkpoint writes, corrupt
+//! checkpoints, failures, retries, and settlement. The files are the
+//! post-mortem record the CI fault-injection matrix uploads when a chaos
+//! run fails.
+//!
+//! [`ServerConfig::trace_dir`]: crate::ServerConfig::trace_dir
+
+use crate::JobId;
+use contrarc_obs::json::escape_into;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One field of a trace event: a key plus an already-rendered JSON value.
+pub(crate) enum Field {
+    Str(&'static str, String),
+    Num(&'static str, f64),
+    Int(&'static str, u64),
+}
+
+/// Appends lifecycle events to per-job JSONL files; a no-op when no trace
+/// directory is configured. I/O errors are swallowed: tracing is a
+/// diagnostic aid and must never fail or reorder the jobs it observes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraceSink {
+    dir: Option<PathBuf>,
+}
+
+impl TraceSink {
+    pub(crate) fn new(dir: Option<PathBuf>) -> TraceSink {
+        if let Some(d) = &dir {
+            let _ = std::fs::create_dir_all(d);
+        }
+        TraceSink { dir }
+    }
+
+    pub(crate) fn emit(&self, job: JobId, event: &str, fields: &[Field]) {
+        let Some(dir) = &self.dir else { return };
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"event\":");
+        escape_into(&mut line, event);
+        for field in fields {
+            line.push(',');
+            match field {
+                Field::Str(key, value) => {
+                    escape_into(&mut line, key);
+                    line.push(':');
+                    escape_into(&mut line, value);
+                }
+                Field::Num(key, value) => {
+                    escape_into(&mut line, key);
+                    line.push(':');
+                    if value.is_finite() {
+                        line.push_str(&format!("{value}"));
+                    } else {
+                        line.push_str("null");
+                    }
+                }
+                Field::Int(key, value) => {
+                    escape_into(&mut line, key);
+                    line.push(':');
+                    line.push_str(&format!("{value}"));
+                }
+            }
+        }
+        line.push_str("}\n");
+        let path = dir.join(format!("{job}.jsonl"));
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        let sink = TraceSink::new(None);
+        sink.emit(JobId(1), "submitted", &[]);
+    }
+
+    #[test]
+    fn events_append_as_one_json_object_per_line() {
+        let dir = std::env::temp_dir().join(format!("contrarc-serve-trace-{}", std::process::id()));
+        let sink = TraceSink::new(Some(dir.clone()));
+        sink.emit(
+            JobId(3),
+            "attempt_start",
+            &[
+                Field::Int("attempt", 2),
+                Field::Str("resume", "latest".to_string()),
+                Field::Num("weight", 1.5),
+            ],
+        );
+        sink.emit(JobId(3), "done", &[Field::Str("outcome", "optimal".into())]);
+        let text = std::fs::read_to_string(dir.join("job-3.jsonl")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"attempt_start\",\"attempt\":2,\"resume\":\"latest\",\"weight\":1.5}"
+        );
+        for line in &lines {
+            contrarc_obs::json::parse(line).expect("trace lines must be valid JSON");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic chaos tests: with seeded worker panics, torn checkpoint
+//! writes, and injected solver faults, every job still completes with a
+//! final incumbent cost and lower bound **bit-identical** to the fault-free
+//! run — the headline recovery guarantee of the job server.
+//!
+//! Compiled only with `--features fault-injection`. The CI fault-injection
+//! matrix runs this suite once per seed (`CONTRARC_CHAOS_SEED`) and uploads
+//! the per-job JSONL traces (`CONTRARC_CHAOS_TRACE_DIR`) when a run fails.
+#![cfg(feature = "fault-injection")]
+
+use contrarc::{explore, Exploration, ExplorerConfig};
+use contrarc_milp::{FaultKind, FaultPlan};
+use contrarc_serve::{ChaosConfig, JobServer, JobSpec, JobStatus, ServerConfig};
+use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
+use std::path::PathBuf;
+
+fn rpl_problem(max_latency: f64, lines: RplLines) -> contrarc::Problem {
+    build_rpl(
+        &RplConfig {
+            max_latency,
+            ..RplConfig::default()
+        },
+        lines,
+    )
+}
+
+/// The multi-tenant workload every chaos run explores: three jobs with
+/// different templates and latency budgets, each needing several pruning
+/// iterations (so injected panics strike mid-search, not post-optimum).
+fn workload() -> Vec<contrarc::Problem> {
+    vec![
+        rpl_problem(42.0, RplLines::LineA),
+        rpl_problem(42.0, RplLines::LineB),
+        rpl_problem(36.0, RplLines::LineA),
+    ]
+}
+
+fn trace_dir(label: &str) -> Option<PathBuf> {
+    let base = std::env::var_os("CONTRARC_CHAOS_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("contrarc-chaos-traces"));
+    Some(base.join(format!("{label}-pid{}", std::process::id())))
+}
+
+/// Seeds to exercise: `CONTRARC_CHAOS_SEED` selects one (the CI matrix sets
+/// it per job); unset, the test covers two seeds itself.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CONTRARC_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CONTRARC_CHAOS_SEED must be a u64")],
+        Err(_) => vec![1, 2],
+    }
+}
+
+#[test]
+fn chaos_runs_are_bit_identical_to_fault_free_runs() {
+    let problems = workload();
+    let baseline: Vec<Exploration> = problems
+        .iter()
+        .map(|p| explore(p, &ExplorerConfig::complete()).unwrap())
+        .collect();
+
+    for seed in seeds() {
+        let server = JobServer::new(ServerConfig {
+            workers: 2,
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            checkpoint_every: 1,
+            trace_dir: trace_dir(&format!("bit-identical-seed{seed}")),
+            chaos: Some(ChaosConfig::new(seed)),
+            ..ServerConfig::default()
+        });
+        let ids: Vec<_> = problems
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                server
+                    .submit(JobSpec::new(format!("tenant-{i}"), p.clone()))
+                    .expect("admission")
+            })
+            .collect();
+        let statuses = server.drain();
+
+        for (slot, (id, reference)) in ids.iter().zip(&baseline).enumerate() {
+            let (_, status) = statuses.iter().find(|(j, _)| j == id).expect("drained");
+            let JobStatus::Done { result, recoveries } = status else {
+                panic!("seed {seed} job {slot}: expected Done, got {status:?}");
+            };
+            assert!(
+                *recoveries >= 1,
+                "seed {seed} job {slot}: chaos panics every job at least once, \
+                 so every job must have recovered"
+            );
+            assert_eq!(
+                result.incumbent().unwrap().cost().to_bits(),
+                reference.incumbent().unwrap().cost().to_bits(),
+                "seed {seed} job {slot}: incumbent cost must be bit-identical"
+            );
+            assert_eq!(
+                result.lower_bound().unwrap().to_bits(),
+                reference.lower_bound().unwrap().to_bits(),
+                "seed {seed} job {slot}: lower bound must be bit-identical"
+            );
+            assert_eq!(result.stats().iterations, reference.stats().iterations);
+            assert_eq!(result.stats().cuts_added, reference.stats().cuts_added);
+        }
+    }
+}
+
+#[test]
+fn solver_fault_retries_then_matches_fault_free_result() {
+    let problem = rpl_problem(42.0, RplLines::LineA);
+    let reference = explore(&problem, &ExplorerConfig::complete()).unwrap();
+
+    // Numerical breakdowns on the first four solver calls: enough to
+    // exhaust the MILP layer's own three-rung retry ladder, so the error
+    // surfaces and kills the first attempt. The server's retry (sharing the
+    // fault plan's call counter) runs past the injection window and must
+    // converge to the same optimum.
+    let mut plan = FaultPlan::new();
+    for call in 1..=4 {
+        plan = plan.inject_at(call, FaultKind::Numerical);
+    }
+    let mut config = ExplorerConfig::complete();
+    config.solve_options.fault_plan = Some(plan);
+
+    let server = JobServer::new(ServerConfig {
+        workers: 1,
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        trace_dir: trace_dir("solver-fault"),
+        ..ServerConfig::default()
+    });
+    let id = server
+        .submit(JobSpec::new("flaky-solver", problem.clone()).with_config(config))
+        .unwrap();
+    let status = server.wait(id).unwrap();
+    let JobStatus::Done { result, recoveries } = status else {
+        panic!("expected Done, got {status:?}");
+    };
+    assert!(recoveries >= 1, "the failed first attempt must be retried");
+    assert_eq!(
+        result.incumbent().unwrap().cost().to_bits(),
+        reference.incumbent().unwrap().cost().to_bits()
+    );
+}
+
+#[test]
+fn persistent_failures_quarantine_the_job_and_spare_the_pool() {
+    let problem = rpl_problem(42.0, RplLines::LineA);
+
+    // Fault every one of the first 64 solver calls: all three attempts fail
+    // and the job must be quarantined as poison instead of crash-looping.
+    let mut plan = FaultPlan::new();
+    for call in 1..=64 {
+        plan = plan.inject_at(call, FaultKind::Numerical);
+    }
+    let mut config = ExplorerConfig::complete();
+    config.solve_options.fault_plan = Some(plan);
+
+    let server = JobServer::new(ServerConfig {
+        workers: 1,
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        trace_dir: trace_dir("quarantine"),
+        ..ServerConfig::default()
+    });
+    let poison = server
+        .submit(JobSpec::new("poison", problem.clone()).with_config(config))
+        .unwrap();
+    let status = server.wait(poison).unwrap();
+    let JobStatus::Quarantined {
+        attempts,
+        last_error,
+    } = status
+    else {
+        panic!("expected Quarantined, got {status:?}");
+    };
+    assert_eq!(attempts, 3);
+    assert!(
+        last_error.contains("numerical"),
+        "quarantine records the failure: {last_error}"
+    );
+
+    // The pool survived the poison job: a clean submission still completes.
+    let clean = server
+        .submit(JobSpec::new("clean", problem.clone()))
+        .unwrap();
+    let reference = explore(&problem, &ExplorerConfig::complete()).unwrap();
+    let status = server.wait(clean).unwrap();
+    let JobStatus::Done { result, .. } = status else {
+        panic!("expected Done, got {status:?}");
+    };
+    assert_eq!(
+        result.incumbent().unwrap().cost().to_bits(),
+        reference.incumbent().unwrap().cost().to_bits()
+    );
+}

@@ -1,0 +1,40 @@
+//! Aggregate server metrics. Kept in its own integration-test binary: the
+//! metrics registry is process-global, and sharing a process with other
+//! server tests would mix their counters into the snapshot.
+
+use contrarc_obs::metrics::with_metrics;
+use contrarc_serve::{JobServer, JobSpec, ServerConfig};
+use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
+
+#[test]
+fn server_publishes_queue_retry_and_checkpoint_metrics() {
+    let problem = build_rpl(
+        &RplConfig {
+            max_latency: 42.0,
+            ..RplConfig::default()
+        },
+        RplLines::LineA,
+    );
+    let ((), report) = with_metrics(|| {
+        let server = JobServer::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let a = server.submit(JobSpec::new("a", problem.clone())).unwrap();
+        let b = server.submit(JobSpec::new("b", problem.clone())).unwrap();
+        assert!(server.wait(a).unwrap().is_terminal());
+        assert!(server.wait(b).unwrap().is_terminal());
+        server.take(a);
+        server.drain();
+    });
+    assert_eq!(report.counter("serve.jobs.submitted"), Some(2));
+    assert_eq!(report.counter("serve.jobs.completed"), Some(2));
+    assert_eq!(report.counter("serve.jobs.evicted"), Some(1));
+    assert!(
+        report.counter("serve.checkpoints.written").unwrap_or(0) > 0,
+        "periodic checkpointing must record writes"
+    );
+    let depth = report.gauge("serve.queue.depth").expect("gauge published");
+    assert_eq!(depth.value, 0, "queue empties by the end");
+    assert!(depth.max >= 1, "two jobs on one worker must have queued");
+}
