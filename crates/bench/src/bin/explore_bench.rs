@@ -5,12 +5,15 @@
 //! `threads = 2` (a fixed multi-thread point, meaningful even when CI
 //! pins the job to one core), and `threads = 0` (every available core),
 //! and writes `BENCH_explore.json` recording per-phase wall-clock times,
-//! the refinement-cache hit rate, per-case parallel speedups, a metrics
-//! block (counters and histograms from the observability registry), and
-//! the measured `NoopSink` overhead ratio. CI runs this as a smoke check
-//! that every thread count reproduces the serial optimum bit for bit; the
-//! speedup figures are only meaningful on a multi-core runner, so the core
-//! count is recorded next to them.
+//! per-iteration LP solve times and pivot counts, the refinement-cache hit
+//! rate, per-case parallel speedups, a warm-start comparison (cold vs.
+//! cut-loop warm vs. cut-loop + node warm starts, with pivot-reduction
+//! ratios), a metrics block (counters and histograms from the observability
+//! registry), and the measured `NoopSink` overhead ratio. CI runs this as a
+//! smoke check that every thread count reproduces the serial optimum bit
+//! for bit and that warm starts actually save pivots; the speedup figures
+//! are only meaningful on a multi-core runner, so the core count is
+//! recorded next to them.
 //!
 //! Usage: `explore_bench [--trace-folded] [output-path]`
 //! (default `BENCH_explore.json`).
@@ -19,7 +22,8 @@
 //! all runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
 //! `CONTRARC_TRACE=path.jsonl` writes the full JSONL trace instead.
 
-use contrarc::{explore, ExplorationStats, ExplorerConfig, Problem};
+use contrarc::{ExplorationStats, Explorer, ExplorerConfig, Problem, Step};
+use contrarc_milp::Budget;
 use contrarc_obs::event;
 use contrarc_obs::sinks::{CollapsedStackSink, NoopSink};
 use contrarc_systems::epn::{build as build_epn, EpnConfig};
@@ -30,6 +34,28 @@ use std::time::Instant;
 /// Thread counts every case is explored at: serial baseline, a fixed
 /// two-thread point, and all available cores.
 const THREAD_POINTS: [usize; 3] = [1, 2, 0];
+
+/// Warm-start configurations the serial comparison runs under.
+#[derive(Clone, Copy, PartialEq)]
+enum WarmMode {
+    /// All warm starts off.
+    Cold,
+    /// Cut-loop (root relaxation) warm starts — the default configuration.
+    Warm,
+    /// Cut-loop plus branch-and-bound node warm starts
+    /// ([`contrarc_milp::SolveOptions::node_warm_start`]).
+    Deep,
+}
+
+impl WarmMode {
+    fn name(self) -> &'static str {
+        match self {
+            WarmMode::Cold => "cold",
+            WarmMode::Warm => "warm",
+            WarmMode::Deep => "deep",
+        }
+    }
+}
 
 struct Case {
     name: &'static str,
@@ -49,33 +75,84 @@ fn cases() -> Vec<Case> {
     ]
 }
 
+/// One exploration iteration's share of the LP work.
+struct IterSample {
+    lp_secs: f64,
+    pivots: u64,
+}
+
 struct Run {
     threads: usize,
     effective_threads: usize,
     wall_secs: f64,
     cost: f64,
     stats: ExplorationStats,
+    pivots: u64,
+    nodes: u64,
+    per_iter: Vec<IterSample>,
 }
 
-fn run_once(problem: &Problem, threads: usize) -> Run {
-    let cfg = ExplorerConfig {
+fn run_once(problem: &Problem, threads: usize, mode: WarmMode) -> Run {
+    let budget = Budget::unlimited();
+    let mut cfg = ExplorerConfig {
         threads,
         ..ExplorerConfig::complete()
     };
+    cfg.solve_options.budget = budget.clone();
+    match mode {
+        WarmMode::Cold => cfg.solve_options.warm_start = false,
+        WarmMode::Warm => {}
+        WarmMode::Deep => cfg.solve_options.node_warm_start = true,
+    }
+
+    // Step the exploration by hand so each iteration's LP time and pivot
+    // count can be sampled at the boundary (deltas of the cumulative
+    // milp_time and of the shared budget's pivot counter).
     let t0 = Instant::now();
-    let result = explore(problem, &cfg).expect("exploration failed");
+    let mut ex = Explorer::new(problem, cfg).expect("bench instances build");
+    let mut per_iter = Vec::new();
+    let mut last_lp_secs = 0.0;
+    let mut last_pivots = 0u64;
+    let cost = loop {
+        let step = ex.step().expect("exploration failed");
+        let lp_secs = ex.stats().milp_time;
+        let pivots = budget.pivots_used();
+        per_iter.push(IterSample {
+            lp_secs: lp_secs - last_lp_secs,
+            pivots: pivots - last_pivots,
+        });
+        last_lp_secs = lp_secs;
+        last_pivots = pivots;
+        match step {
+            Step::Pruned { .. } => {}
+            Step::Optimal(arch) => break arch.cost(),
+            other => panic!("bench instances are feasible, got {other:?}"),
+        }
+    };
     let wall_secs = t0.elapsed().as_secs_f64();
-    let cost = result
-        .architecture()
-        .expect("bench instances are feasible")
-        .cost();
     Run {
         threads,
         effective_threads: contrarc_par::effective_threads(threads),
         wall_secs,
         cost,
-        stats: *result.stats(),
+        stats: *ex.stats(),
+        pivots: budget.pivots_used(),
+        nodes: budget.nodes_used(),
+        per_iter,
     }
+}
+
+fn json_per_iter(samples: &[IterSample]) -> String {
+    let items: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"lp_secs\": {:.6}, \"pivots\": {}}}",
+                s.lp_secs, s.pivots
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn json_run(r: &Run) -> String {
@@ -97,10 +174,13 @@ fn json_run(r: &Run) -> String {
             "          \"cert_secs\": {:.6},\n",
             "          \"iterations\": {},\n",
             "          \"cuts_added\": {},\n",
+            "          \"pivots\": {},\n",
+            "          \"nodes\": {},\n",
             "          \"cache_hits\": {},\n",
             "          \"cache_misses\": {},\n",
             "          \"cache_hit_rate\": {:.4},\n",
-            "          \"optimum\": {:.6}\n",
+            "          \"optimum\": {:.6},\n",
+            "          \"per_iteration\": {}\n",
             "        }}"
         ),
         r.threads,
@@ -111,19 +191,97 @@ fn json_run(r: &Run) -> String {
         s.cert_time,
         s.iterations,
         s.cuts_added,
+        r.pivots,
+        r.nodes,
         s.cache_hits,
         s.cache_misses,
         hit_rate,
         r.cost,
+        json_per_iter(&r.per_iter),
+    )
+}
+
+/// Serial runs under every warm mode: cold and cut-loop-warm must be
+/// bit-identical (warm starting is an accelerator, not a semantic knob),
+/// node warm starts must reach an equally-optimal answer, and the pivot
+/// savings are recorded as reduction ratios against the cold baseline.
+fn warm_comparison(case: &Case) -> String {
+    let runs: Vec<(WarmMode, Run)> = [WarmMode::Cold, WarmMode::Warm, WarmMode::Deep]
+        .into_iter()
+        .map(|m| (m, run_once(&case.problem, 1, m)))
+        .collect();
+    let cold = &runs[0].1;
+    for (mode, run) in &runs {
+        match mode {
+            WarmMode::Deep => assert!(
+                (run.cost - cold.cost).abs() < 1e-9,
+                "case {}: node-warm optimum {} differs from cold {}",
+                case.name,
+                run.cost,
+                cold.cost,
+            ),
+            _ => {
+                assert_eq!(
+                    cold.cost.to_bits(),
+                    run.cost.to_bits(),
+                    "case {}: {} optimum must be bit-identical to cold",
+                    case.name,
+                    mode.name(),
+                );
+                assert_eq!(cold.stats.iterations, run.stats.iterations);
+                assert_eq!(cold.stats.cuts_added, run.stats.cuts_added);
+            }
+        }
+    }
+    let rendered: Vec<String> = runs
+        .iter()
+        .map(|(mode, r)| {
+            format!(
+                concat!(
+                    "        {{\"mode\": \"{}\", \"pivots\": {}, \"nodes\": {}, ",
+                    "\"lp_secs\": {:.6}, \"iterations\": {}, \"optimum\": {:.6}}}"
+                ),
+                mode.name(),
+                r.pivots,
+                r.nodes,
+                r.stats.milp_time,
+                r.stats.iterations,
+                r.cost,
+            )
+        })
+        .collect();
+    let reduction = |r: &Run| cold.pivots as f64 / (r.pivots as f64).max(1.0);
+    if case.name == "rpl-default-both" {
+        // The headline number of the LP-core rewrite: node warm starts must
+        // at least halve the total simplex pivots on the RPL two-line case.
+        assert!(
+            reduction(&runs[2].1) >= 2.0,
+            "case {}: node warm starts saved too little ({} cold vs {} deep pivots)",
+            case.name,
+            cold.pivots,
+            runs[2].1.pivots,
+        );
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "        \"pivot_reduction_warm\": {:.4},\n",
+            "        \"pivot_reduction_deep\": {:.4},\n",
+            "        \"modes\": [\n{}\n        ]\n",
+            "      }}"
+        ),
+        reduction(&runs[1].1),
+        reduction(&runs[2].1),
+        rendered.join(",\n"),
     )
 }
 
 /// Explore one case at every thread point, assert cross-thread determinism,
-/// and render its JSON object.
+/// and render its JSON object (including the warm-start comparison).
 fn bench_case(case: &Case) -> String {
     let runs: Vec<Run> = THREAD_POINTS
         .iter()
-        .map(|&t| run_once(&case.problem, t))
+        .map(|&t| run_once(&case.problem, t, WarmMode::Warm))
         .collect();
     let serial = &runs[0];
     for run in &runs[1..] {
@@ -145,11 +303,13 @@ fn bench_case(case: &Case) -> String {
             "    {{\n",
             "      \"case\": \"{}\",\n",
             "      \"speedup_serial_over_max_threads\": {:.4},\n",
+            "      \"warm_start\": {},\n",
             "      \"runs\": [\n{}\n      ]\n",
             "    }}"
         ),
         case.name,
         speedup,
+        warm_comparison(case),
         rendered.join(",\n"),
     )
 }
@@ -157,7 +317,7 @@ fn bench_case(case: &Case) -> String {
 /// Minimum wall-clock over `runs` serial explorations of the RPL case.
 fn min_wall(problem: &Problem, runs: usize) -> f64 {
     (0..runs)
-        .map(|_| run_once(problem, 1).wall_secs)
+        .map(|_| run_once(problem, 1, WarmMode::Warm).wall_secs)
         .fold(f64::INFINITY, f64::min)
 }
 

@@ -647,6 +647,12 @@ pub struct Explorer<'p> {
     /// `prior + cache counters` (the cache itself restarts empty on resume).
     prior_cache_hits: u64,
     prior_cache_misses: u64,
+    /// Optimal basis of the previous candidate-selection solve, dual-simplex
+    /// warm-started into the next one (cuts only ever append rows/columns).
+    /// Purely an accelerator: in-memory only, deliberately *not* part of the
+    /// checkpoint — a resumed run cold-starts its first solve and produces
+    /// the same exploration either way.
+    warm: Option<contrarc_milp::WarmStart>,
 }
 
 impl<'p> Explorer<'p> {
@@ -715,6 +721,7 @@ impl<'p> Explorer<'p> {
             cache: RefinementCache::new(),
             prior_cache_hits: 0,
             prior_cache_misses: 0,
+            warm: None,
         })
     }
 
@@ -973,11 +980,18 @@ impl<'p> Explorer<'p> {
                 "explore.select",
                 cuts = self.enc.model.num_constrs() - self.baseline_constrs,
             );
-            self.enc.model.solve(&solve_options)
+            // Dual-simplex warm start from the previous iteration's optimal
+            // basis: each iteration only appends cut rows, so the old basis
+            // repairs cheaply. Never changes the outcome, only the work.
+            contrarc_milp::Solver::new(solve_options)
+                .solve_with_state(&self.enc.model, self.warm.as_ref())
         };
         self.stats.milp_time += t0.elapsed().as_secs_f64();
         let outcome = match outcome {
-            Ok(o) => o,
+            Ok((o, state)) => {
+                self.warm = state;
+                o
+            }
             Err(e) => return self.exhaust_or_err(e),
         };
 

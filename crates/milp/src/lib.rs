@@ -8,8 +8,10 @@
 //!
 //! * a modeling layer ([`Model`], [`LinExpr`], [`VarId`]) for building linear
 //!   programs with continuous, integer, and binary variables;
-//! * a dense, bounded-variable, two-phase primal **simplex** method for the
-//!   LP relaxations;
+//! * a bounded-variable **revised simplex** method (sparse LU-factorized
+//!   basis, product-form updates, dual-simplex warm starts) for the LP
+//!   relaxations, with the original dense tableau engine selectable as a
+//!   reference backend ([`LpBackend`]);
 //! * a best-bound **branch-and-bound** search for integer feasibility
 //!   ([`Solver`]);
 //! * encoding helpers ([`encode`]) for the logical constructs used by
@@ -66,5 +68,5 @@ pub use solution::{Outcome, Solution, SolveStats, Status};
 pub use solver::budget::{Budget, Deadline};
 #[cfg(feature = "fault-injection")]
 pub use solver::faults::{FaultKind, FaultPlan};
-pub use solver::{SolveOptions, Solver};
+pub use solver::{LpBackend, SolveOptions, Solver, WarmStart};
 pub use var::{VarDef, VarId, VarType};

@@ -72,6 +72,28 @@ pub(crate) fn tighten_bounds(model: &Model, lbs: &mut [f64], ubs: &mut [f64]) ->
     tighten_with_report(model, lbs, ubs, &mut report)
 }
 
+/// Root bounds for branch-and-bound: model bounds with integral bounds
+/// rounded inward, then (when `presolve_enabled`) activity-tightened. `None`
+/// when the model is proven infeasible outright.
+pub(crate) fn root_bounds(model: &Model, presolve_enabled: bool) -> Option<(Vec<f64>, Vec<f64>)> {
+    let mut lbs: Vec<f64> = model.vars().map(|(_, d)| d.lb).collect();
+    let mut ubs: Vec<f64> = model.vars().map(|(_, d)| d.ub).collect();
+    // Integral bounds can always be rounded inward.
+    for (i, (_, d)) in model.vars().enumerate() {
+        if d.ty.is_integral() {
+            lbs[i] = lbs[i].ceil();
+            ubs[i] = ubs[i].floor();
+        }
+        if lbs[i] > ubs[i] {
+            return None;
+        }
+    }
+    if presolve_enabled && !tighten_bounds(model, &mut lbs, &mut ubs) {
+        return None;
+    }
+    Some((lbs, ubs))
+}
+
 fn tighten_with_report(
     model: &Model,
     lbs: &mut [f64],

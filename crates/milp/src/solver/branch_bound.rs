@@ -30,8 +30,9 @@ use crate::error::SolveError;
 use crate::model::Model;
 use crate::presolve;
 use crate::solution::{Outcome, Solution, SolveStats};
+use crate::solver::backend::{backend_for, LpRequest};
 use crate::solver::budget::Deadline;
-use crate::solver::{BasisSnapshot, LpOutcome, Simplex, SolveOptions};
+use crate::solver::{BasisSnapshot, LpOutcome, SolveOptions};
 use crate::standard_form::StandardForm;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -115,15 +116,21 @@ impl Ord for HeapEntry {
 
 /// The outcome of one node's LP relaxation, cacheable by node sequence
 /// number. `pivots` is recorded even when the solve errored so committed
-/// statistics match the serial trajectory exactly.
+/// statistics match the serial trajectory exactly. The warm-start and
+/// refactorization tallies ride along so metrics are emitted only at the
+/// serial commit point — speculative evaluations stay silent and the
+/// counters are identical for every thread count.
 struct NodeEval {
     pivots: u64,
+    warm_attempted: bool,
+    warm_used: bool,
+    refactorizations: u64,
     result: Result<(LpOutcome, Option<Arc<BasisSnapshot>>), SolveError>,
 }
 
-/// Solve one node's LP relaxation (with optional dual-simplex warm start) and
-/// charge its pivots to the shared budget. Pure in the node's bounds: safe to
-/// run speculatively on any thread.
+/// Solve one node's LP relaxation (with optional dual-simplex warm start)
+/// through the configured backend, charging pivots to the shared budget.
+/// Pure in the node's bounds: safe to run speculatively on any thread.
 fn eval_node(
     sf_root: &StandardForm,
     lbs: &[f64],
@@ -134,33 +141,20 @@ fn eval_node(
 ) -> NodeEval {
     let mut lp_span = contrarc_obs::span!("milp.lp");
     let sf = sf_root.rebind(lbs, ubs);
-    let mut simplex = Simplex::new(&sf, opts).with_deadline(deadline);
-    let lp_result = match warm {
-        Some(snap) if opts.warm_start => match simplex.solve_warm(snap) {
-            Ok(Some(outcome)) => Ok(outcome),
-            Ok(None) => {
-                // Unusable snapshot: cold start on a fresh state.
-                simplex = Simplex::new(&sf, opts).with_deadline(deadline);
-                simplex.solve()
-            }
-            Err(e) => Err(e),
-        },
-        _ => simplex.solve(),
-    };
-    let pivots = simplex.pivots;
-    lp_span.record("pivots", pivots);
-    let charged = opts.budget.charge_pivots(simplex.take_uncharged_pivots());
-    let snapshot = match &lp_result {
-        Ok(LpOutcome::Optimal { .. }) => simplex.snapshot().map(Arc::new),
-        _ => None,
-    };
-    // Budget exhaustion takes precedence over the LP outcome, matching the
-    // serial control flow (charge first, then inspect the LP result).
-    let result = match charged {
-        Err(e) => Err(e),
-        Ok(()) => lp_result.map(|lp| (lp, snapshot)),
-    };
-    NodeEval { pivots, result }
+    let solve = backend_for(opts).solve_lp(&LpRequest {
+        sf: &sf,
+        opts,
+        deadline,
+        warm,
+    });
+    lp_span.record("pivots", solve.pivots);
+    NodeEval {
+        pivots: solve.pivots,
+        warm_attempted: solve.warm_attempted,
+        warm_used: solve.warm_used,
+        refactorizations: solve.refactorizations,
+        result: solve.result.map(|lp| (lp, solve.basis)),
+    }
 }
 
 /// A materialized unit of speculative work.
@@ -231,7 +225,30 @@ fn prefetch_wave(
     }
 }
 
-pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, SolveError> {
+/// Solve a MILP. `root_warm` optionally warm-starts the root relaxation from
+/// a basis of a *previous* solve of a monotonically grown model (the cut
+/// loop); it is remapped to this model's shape and silently dropped when it
+/// does not fit. Returns the outcome together with the basis of the final
+/// incumbent (root basis when no incumbent improved on it), for the caller to
+/// feed into the next solve.
+pub(crate) fn solve(
+    model: &Model,
+    opts: &SolveOptions,
+    root_warm: Option<&BasisSnapshot>,
+) -> Result<(Outcome, Option<Arc<BasisSnapshot>>), SolveError> {
+    solve_traced(model, opts, root_warm, None)
+}
+
+/// [`solve`] with an optional incumbent trace: every accepted incumbent's
+/// model-sense objective is appended to `trace` in commit order. The trace is
+/// a pure function of the committed trajectory, so the differential harness
+/// uses it to pin backend equivalence beyond the final optimum.
+pub(crate) fn solve_traced(
+    model: &Model,
+    opts: &SolveOptions,
+    root_warm: Option<&BasisSnapshot>,
+    mut trace: Option<&mut Vec<f64>>,
+) -> Result<(Outcome, Option<Arc<BasisSnapshot>>), SolveError> {
     let start = Instant::now();
     // One absolute deadline for the whole solve: the shared budget's expiry
     // tightened by the per-solve relative limit. Every LP below inherits it,
@@ -250,11 +267,11 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     );
 
     // Presolve: detect trivial infeasibility and tighten bounds.
-    let (root_lbs, root_ubs) = match presolve_bounds(model, opts) {
+    let (root_lbs, root_ubs) = match presolve::root_bounds(model, opts.presolve) {
         Some(bounds) => bounds,
         None => {
             stats.time_secs = start.elapsed().as_secs_f64();
-            return Ok(Outcome::Infeasible { stats });
+            return Ok((Outcome::Infeasible { stats }, None));
         }
     };
 
@@ -280,6 +297,13 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     // Build (and equilibrate) the matrix once; nodes only rebind bounds.
     let sf_root = StandardForm::build(model, Some((&root_lbs, &root_ubs)));
 
+    // Cut-loop warm start: remap the previous solve's basis to this model's
+    // shape (cuts append rows and auxiliary columns; the snapshot grows to
+    // match, or is dropped when the model shrank).
+    let root_warm: Option<Arc<BasisSnapshot>> = root_warm
+        .and_then(|s| s.remap(sf_root.num_structural, sf_root.num_rows))
+        .map(Arc::new);
+
     let mut next_seq: u64 = 0;
     let mut heap = BinaryHeap::new();
     heap.push(HeapEntry(Node {
@@ -287,7 +311,7 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
         bound: f64::NEG_INFINITY,
         depth: 0,
         seq: next_seq,
-        warm: None,
+        warm: root_warm,
     }));
     next_seq += 1;
     // Speculative LP evaluations keyed by node sequence number.
@@ -296,6 +320,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     // (values, min-space obj, model-sense obj)
     let mut incumbent: Option<(Vec<f64>, f64, f64)> = None;
     let mut root_unbounded = false;
+    // Root relaxation pivot count: the cold-ish baseline used to estimate
+    // pivots saved by warm-started descendants.
+    let mut root_pivots: Option<u64> = None;
+    // Basis to hand back for the *next* solve in a cut loop: the final
+    // incumbent's basis, falling back to the root basis.
+    let mut warm_out: Option<Arc<BasisSnapshot>> = None;
     // Objective floor in minimization space: an incumbent at or below it is
     // provably optimal without exhausting the tree.
     let floor_min = opts
@@ -370,7 +400,33 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
             contrarc_obs::metrics::COUNT_BUCKETS,
             eval.pivots as f64,
         );
+        // Warm-start metrics, emitted only for committed evaluations so every
+        // thread count produces identical counters.
+        if eval.warm_attempted {
+            if eval.warm_used {
+                contrarc_obs::metrics::counter_add("milp.warm_start_hits", 1);
+                if node.depth > 0 {
+                    if let Some(rp) = root_pivots {
+                        contrarc_obs::metrics::counter_add(
+                            "milp.pivots_saved",
+                            rp.saturating_sub(eval.pivots),
+                        );
+                    }
+                }
+            } else {
+                contrarc_obs::metrics::counter_add("milp.warm_start_cold_falls", 1);
+            }
+        }
+        if eval.refactorizations > 0 {
+            contrarc_obs::metrics::counter_add("milp.refactorizations", eval.refactorizations);
+        }
+        if node.depth == 0 {
+            root_pivots = Some(eval.pivots);
+        }
         let (lp, node_snapshot) = eval.result?;
+        if node.depth == 0 {
+            warm_out = node_snapshot.clone();
+        }
         let (values, min_obj) = match lp {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
@@ -417,16 +473,32 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                     contrarc_obs::event!("milp.incumbent", objective = objective);
                     contrarc_obs::metrics::counter_add("milp.incumbents", 1);
                     incumbent = Some((values, min_obj, objective));
+                    if node_snapshot.is_some() {
+                        warm_out = node_snapshot.clone();
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(objective);
+                    }
                     if reached_floor(&incumbent) {
                         break;
                     }
                 } else {
                     let sf_fix = sf_root.rebind(&lbs_fix, &ubs_fix);
-                    let mut sx = Simplex::new(&sf_fix, opts).with_deadline(deadline);
-                    let fixed = sx.solve();
-                    stats.simplex_iterations += sx.pivots;
-                    opts.budget.charge_pivots(sx.take_uncharged_pivots())?;
-                    match fixed? {
+                    let fixed = backend_for(opts).solve_lp(&LpRequest {
+                        sf: &sf_fix,
+                        opts,
+                        deadline,
+                        warm: None,
+                    });
+                    stats.simplex_iterations += fixed.pivots;
+                    if fixed.refactorizations > 0 {
+                        contrarc_obs::metrics::counter_add(
+                            "milp.refactorizations",
+                            fixed.refactorizations,
+                        );
+                    }
+                    let fixed_basis = fixed.basis;
+                    match fixed.result? {
                         LpOutcome::Optimal {
                             values: fvals,
                             min_obj: fobj,
@@ -443,6 +515,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
                                 contrarc_obs::event!("milp.incumbent", objective = objective);
                                 contrarc_obs::metrics::counter_add("milp.incumbents", 1);
                                 incumbent = Some((vals, fobj, objective));
+                                if fixed_basis.is_some() {
+                                    warm_out = fixed_basis.clone();
+                                }
+                                if let Some(t) = trace.as_deref_mut() {
+                                    t.push(objective);
+                                }
                                 if reached_floor(&incumbent) {
                                     break;
                                 }
@@ -511,14 +589,17 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Outcome, Solve
     solve_span.record("nodes", stats.nodes);
     solve_span.record("pivots", stats.simplex_iterations);
     if root_unbounded {
-        return Ok(Outcome::Unbounded { stats });
+        return Ok((Outcome::Unbounded { stats }, None));
     }
     match incumbent {
-        Some((values, _, objective)) => Ok(Outcome::Optimal {
-            solution: Solution::new(values, objective),
-            stats,
-        }),
-        None => Ok(Outcome::Infeasible { stats }),
+        Some((values, _, objective)) => Ok((
+            Outcome::Optimal {
+                solution: Solution::new(values, objective),
+                stats,
+            },
+            warm_out,
+        )),
+        None => Ok((Outcome::Infeasible { stats }, None)),
     }
 }
 
@@ -551,6 +632,8 @@ fn most_fractional(
 /// Push the down (`x ≤ ⌊v⌋`) and up (`x ≥ ⌊v⌋+1`) children of a node. Each
 /// child extends the parent's branching chain by one step; `bounds` is the
 /// parent's materialized bounds, used only for child-feasibility checks.
+/// Children carry the parent's basis for dual-simplex warm starts only under
+/// [`SolveOptions::node_warm_start`].
 #[allow(clippy::too_many_arguments)]
 fn push_children(
     heap: &mut BinaryHeap<HeapEntry>,
@@ -564,6 +647,7 @@ fn push_children(
     next_seq: &mut u64,
 ) {
     let (lbs, ubs) = bounds;
+    let warm = if opts.node_warm_start { warm } else { &None };
     let floor = x.floor();
     if floor >= lbs[vi] - opts.int_tol {
         let mut steps = node.steps.clone();
@@ -597,27 +681,6 @@ fn push_children(
     }
 }
 
-/// Run presolve and return per-variable root bounds, or `None` when presolve
-/// proves infeasibility outright.
-fn presolve_bounds(model: &Model, opts: &SolveOptions) -> Option<(Vec<f64>, Vec<f64>)> {
-    let mut lbs: Vec<f64> = model.vars().map(|(_, d)| d.lb).collect();
-    let mut ubs: Vec<f64> = model.vars().map(|(_, d)| d.ub).collect();
-    // Integral bounds can always be rounded inward.
-    for (i, (_, d)) in model.vars().enumerate() {
-        if d.ty.is_integral() {
-            lbs[i] = lbs[i].ceil();
-            ubs[i] = ubs[i].floor();
-        }
-        if lbs[i] > ubs[i] {
-            return None;
-        }
-    }
-    if opts.presolve && !presolve::tighten_bounds(model, &mut lbs, &mut ubs) {
-        return None;
-    }
-    Some((lbs, ubs))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,7 +688,9 @@ mod tests {
     use crate::{Cmp, LinExpr, Model, Sense};
 
     fn solve_default(m: &Model) -> Outcome {
-        solve(m, &SolveOptions::default()).expect("solver error")
+        solve(m, &SolveOptions::default(), None)
+            .expect("solver error")
+            .0
     }
 
     #[test]
@@ -754,9 +819,9 @@ mod tests {
             ..SolveOptions::default()
         };
         // One node is not enough to finish branching here.
-        match solve(&m, &opts) {
+        match solve(&m, &opts, None) {
             Err(SolveError::NodeLimit { limit: 1 }) => {}
-            Ok(out) => {
+            Ok((out, _)) => {
                 // If the root LP happened to be integral the solve finishes
                 // in one node; accept that too.
                 assert!(matches!(out, Outcome::Optimal { .. }));
@@ -792,7 +857,7 @@ mod tests {
             objective_floor: Some(9.0),
             ..SolveOptions::default()
         };
-        let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
+        let sol = solve(&m, &opts, None).unwrap().0.expect_optimal().unwrap();
         assert!((sol.objective() - 9.0).abs() < 1e-6);
     }
 
@@ -811,7 +876,7 @@ mod tests {
             objective_floor: Some(100.0),
             ..SolveOptions::default()
         };
-        let sol = solve(&m, &opts).unwrap().expect_optimal().unwrap();
+        let sol = solve(&m, &opts, None).unwrap().0.expect_optimal().unwrap();
         assert!(
             (sol.objective() - 5.0).abs() < 1e-6,
             "got {}",
@@ -846,18 +911,23 @@ mod tests {
                     warm_start: false,
                     ..SolveOptions::default()
                 },
+                None,
             )
             .unwrap()
+            .0
             .expect_optimal()
             .unwrap();
             let warm = solve(
                 &m,
                 &SolveOptions {
                     warm_start: true,
+                    node_warm_start: true,
                     ..SolveOptions::default()
                 },
+                None,
             )
             .unwrap()
+            .0
             .expect_optimal()
             .unwrap();
             assert!(
@@ -908,7 +978,7 @@ mod tests {
         // every thread count.
         for seed in 0..6u64 {
             let m = branching_knapsack(seed);
-            let serial = solve(&m, &SolveOptions::default()).unwrap();
+            let serial = solve(&m, &SolveOptions::default(), None).unwrap().0;
             let (ser_sol, ser_stats) = match &serial {
                 Outcome::Optimal { solution, stats } => (solution, stats),
                 other => panic!("unexpected outcome {other:?}"),
@@ -918,7 +988,7 @@ mod tests {
                     threads,
                     ..SolveOptions::default()
                 };
-                let par = solve(&m, &opts).unwrap();
+                let par = solve(&m, &opts, None).unwrap().0;
                 let (par_sol, par_stats) = match &par {
                     Outcome::Optimal { solution, stats } => (solution, stats),
                     other => panic!("unexpected outcome {other:?}"),
@@ -955,7 +1025,7 @@ mod tests {
             budget: Budget::unlimited().with_pivot_limit(3),
             ..SolveOptions::default()
         };
-        match solve(&m, &opts) {
+        match solve(&m, &opts, None) {
             Err(SolveError::IterationLimit { limit: 3 }) => {}
             other => panic!("expected pivot-limit error, got {other:?}"),
         }

@@ -1,19 +1,53 @@
 //! The LP/MILP solving engine: options, the public [`Solver`] facade, and the
 //! internal simplex and branch-and-bound implementations.
 
+mod backend;
 mod branch_bound;
 pub mod budget;
+#[cfg(test)]
+mod differential;
+mod factor;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+mod revised;
 mod simplex;
 
-pub(crate) use simplex::{BasisSnapshot, LpOutcome, Simplex};
+pub(crate) use backend::{BasisSnapshot, LpOutcome};
 
 use crate::error::SolveError;
 use crate::model::Model;
 use crate::solution::Outcome;
 use budget::Budget;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which LP engine solves the relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LpBackend {
+    /// Revised simplex: sparse LU-factorized basis with product-form eta
+    /// updates, periodic refactorization, and dual-simplex warm starts. The
+    /// default.
+    #[default]
+    Revised,
+    /// The original dense explicit-inverse tableau simplex, kept as a
+    /// reference implementation for differential testing.
+    DenseTableau,
+}
+
+/// Opaque reusable solver state: the optimal basis of a previous solve,
+/// usable to warm-start a later solve of the *same model grown monotonically*
+/// (bounds changed, cut rows and auxiliary columns appended — the exploration
+/// cut-loop pattern). Obtained from [`Solver::solve_with_state`]; treat it as
+/// a black box. Warm-starting never changes results, only the work done to
+/// reach them: an unusable state silently falls back to a cold solve.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    pub(crate) snap: Arc<BasisSnapshot>,
+}
+
+fn default_refactor_every() -> u64 {
+    64
+}
 
 /// Tunable parameters of the solver.
 ///
@@ -48,15 +82,30 @@ pub struct SolveOptions {
     pub force_bland: bool,
     /// Whether to run the presolve pass before solving.
     pub presolve: bool,
-    /// Warm-start branch-and-bound children from the parent's optimal basis
-    /// via the dual simplex (falls back to a cold solve on any trouble).
-    ///
-    /// Off by default: with the dense explicit-inverse simplex, reinstalling
-    /// a snapshot costs an `O(m³)` inversion per node, which measures slower
-    /// than cold phase-1 starts on this workload's sizes (see the
-    /// `substrates` bench). The machinery is kept for larger models and for
-    /// the ablation.
+    /// Master switch for dual-simplex warm starts (falls back to a cold
+    /// solve on any trouble). With only this on (the default), warm starts
+    /// apply at the *root* relaxation — the cut-loop pattern served by
+    /// [`Solver::solve_with_state`] — which is reproducibility-safe: warm and
+    /// cold runs produce bit-identical results on the case-study workloads.
     pub warm_start: bool,
+    /// Additionally warm-start every branch-and-bound child from its
+    /// parent's optimal basis (requires `warm_start`). This is the deepest
+    /// pivot saver (several-fold on the exploration workloads; see
+    /// `BENCH_explore.json`), and the committed trajectory remains identical
+    /// at any thread count — but on models with many equally-optimal
+    /// solutions the search may surface a *different equally-optimal*
+    /// incumbent than a cold run would, so it is opt-in rather than the
+    /// default.
+    #[serde(default)]
+    pub node_warm_start: bool,
+    /// Which LP engine solves the relaxations.
+    #[serde(default)]
+    pub backend: LpBackend,
+    /// Revised backend only: collapse the eta file into a fresh basis
+    /// factorization every this many pivots. Lower is numerically safer and
+    /// slower; the retry ladder drops it to 1.
+    #[serde(default = "default_refactor_every")]
+    pub refactor_every: u64,
     /// A proven floor on the objective (model sense): the caller knows no
     /// feasible solution is better than this. Branch-and-bound stops as soon
     /// as an incumbent reaches the floor, skipping the (often expensive)
@@ -90,7 +139,10 @@ impl Default for SolveOptions {
             budget: Budget::unlimited(),
             force_bland: false,
             presolve: true,
-            warm_start: false,
+            warm_start: true,
+            node_warm_start: false,
+            backend: LpBackend::default(),
+            refactor_every: default_refactor_every(),
             objective_floor: None,
             threads: 1,
             #[cfg(feature = "fault-injection")]
@@ -173,6 +225,29 @@ impl Solver {
     /// node, or time limit is exhausted before the outcome is proven, or a
     /// numerical failure survives every rung of the retry ladder.
     pub fn solve(&self, model: &Model) -> Result<Outcome, SolveError> {
+        self.solve_with_state(model, None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Solver::solve`], but additionally accepts and returns reusable
+    /// solver state for warm-starting across a *monotonically growing*
+    /// sequence of solves (the exploration cut loop: each iteration only
+    /// appends cut rows and auxiliary columns). Pass the [`WarmStart`]
+    /// returned by the previous solve; an incompatible or unusable state is
+    /// silently ignored (cold solve). The returned state is `None` when the
+    /// outcome was not optimal or no clean basis was available.
+    ///
+    /// Warm starting is an acceleration only: the outcome is the same as
+    /// [`Solver::solve`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Solver::solve`].
+    pub fn solve_with_state(
+        &self,
+        model: &Model,
+        warm: Option<&WarmStart>,
+    ) -> Result<(Outcome, Option<WarmStart>), SolveError> {
         let mut opts = self.options.clone();
         let mut retries = 0u64;
         loop {
@@ -189,17 +264,17 @@ impl Solver {
                     return Err(err);
                 }
             }
-            match branch_bound::solve(model, &opts) {
+            match branch_bound::solve(model, &opts, warm.map(|w| w.snap.as_ref())) {
                 Err(SolveError::Numerical(msg)) => {
                     if !Self::escalate(&mut opts, &mut retries) {
                         return Err(SolveError::Numerical(msg));
                     }
                 }
-                Ok(mut outcome) => {
+                Ok((mut outcome, state)) => {
                     outcome.stats_mut().numerical_retries = retries;
-                    return Ok(outcome);
+                    return Ok((outcome, state.map(|snap| WarmStart { snap })));
                 }
-                err => return err,
+                Err(err) => return Err(err),
             }
         }
     }
@@ -214,6 +289,9 @@ impl Solver {
             2 => {
                 opts.feas_tol *= 0.1;
                 opts.dual_tol *= 0.1;
+                // Revised backend: refactorize after every pivot so no eta
+                // drift can survive the tightened tolerances.
+                opts.refactor_every = 1;
             }
             3 => opts.presolve = false,
             _ => return false,

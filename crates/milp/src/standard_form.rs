@@ -123,6 +123,11 @@ impl SparseCol {
             .zip(&self.vals)
             .map(|(&r, &v)| (r as usize, v))
     }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
 }
 
 /// Equality-form LP data: `minimize cᵀx  s.t.  A x = b,  l ≤ x ≤ u`.

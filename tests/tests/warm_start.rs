@@ -1,0 +1,112 @@
+//! Warm starting is an accelerator, never a semantic knob: a warm-started
+//! exploration must be **bit-identical** to a cold one — same optimum bits,
+//! same per-iteration candidate costs, same cuts, same counters — at every
+//! thread count. These tests pin that on the two case-study systems.
+
+use contrarc::{Explorer, ExplorerConfig, Step};
+use contrarc_systems::epn::{build as build_epn, EpnConfig};
+use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
+
+/// Everything observable about one exploration, excluding wall-clock times
+/// and work counters (pivots/nodes), which warm starting is *allowed* — and
+/// expected — to change.
+#[derive(Debug, PartialEq)]
+struct Trajectory {
+    /// Bit pattern of each pruned candidate's cost, in iteration order.
+    pruned_costs: Vec<u64>,
+    /// Cuts added per iteration.
+    cuts_per_iter: Vec<usize>,
+    /// Bit pattern of the final optimum.
+    optimum: u64,
+    iterations: usize,
+    cuts_added: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Checkpoint text with the run-specific lines (`stats`, `usage`)
+    /// removed: fingerprint, cost floor, and the exact cut rows.
+    checkpoint: String,
+}
+
+fn run(p: &contrarc::Problem, warm_start: bool, threads: usize) -> Trajectory {
+    let mut config = ExplorerConfig::complete();
+    config.solve_options.warm_start = warm_start;
+    config.threads = threads;
+    let mut ex = Explorer::new(p, config).unwrap();
+    let mut pruned_costs = Vec::new();
+    let mut cuts_per_iter = Vec::new();
+    let optimum = loop {
+        match ex.step().unwrap() {
+            Step::Pruned {
+                candidate,
+                cuts_added,
+                ..
+            } => {
+                pruned_costs.push(candidate.cost().to_bits());
+                cuts_per_iter.push(cuts_added);
+            }
+            Step::Optimal(arch) => break arch.cost().to_bits(),
+            other => panic!("unexpected step {other:?}"),
+        }
+    };
+    let ckpt = ex.checkpoint();
+    let checkpoint = ckpt
+        .to_text()
+        .lines()
+        .filter(|l| !l.starts_with("stats ") && !l.starts_with("usage "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    Trajectory {
+        pruned_costs,
+        cuts_per_iter,
+        optimum,
+        iterations: ckpt.stats.iterations,
+        cuts_added: ckpt.stats.cuts_added,
+        cache_hits: ckpt.stats.cache_hits,
+        cache_misses: ckpt.stats.cache_misses,
+        checkpoint,
+    }
+}
+
+fn assert_warm_cold_identical(p: &contrarc::Problem) {
+    let reference = run(p, false, 1);
+    assert!(
+        !reference.pruned_costs.is_empty(),
+        "case must exercise the cut loop to test warm starts"
+    );
+    for threads in [1usize, 2, 8] {
+        let cold = run(p, false, threads);
+        let warm = run(p, true, threads);
+        assert_eq!(
+            reference, cold,
+            "cold run drifted across thread counts ({threads} threads)"
+        );
+        assert_eq!(
+            cold, warm,
+            "warm-started run differs from cold at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn warm_starts_are_bit_identical_on_rpl_both_lines() {
+    let p = build_rpl(&RplConfig::default(), RplLines::Both);
+    assert_warm_cold_identical(&p);
+}
+
+#[test]
+fn warm_starts_are_bit_identical_on_rpl_tight_latency() {
+    let p = build_rpl(
+        &RplConfig {
+            max_latency: 42.0,
+            ..RplConfig::default()
+        },
+        RplLines::LineA,
+    );
+    assert_warm_cold_identical(&p);
+}
+
+#[test]
+fn warm_starts_are_bit_identical_on_epn() {
+    let p = build_epn(&EpnConfig::default());
+    assert_warm_cold_identical(&p);
+}
