@@ -15,6 +15,12 @@
 //! are only meaningful on a multi-core runner, so the core count is
 //! recorded next to them.
 //!
+//! A third, symmetric stress case — three identical parallel RPL lines —
+//! runs with symmetry reduction off and on and records the orbit counters
+//! (`sym.*`), the embedding-reduction ratio of the orbit-pruned matcher,
+//! and the branch-and-bound node reduction from the MILP symmetry rows,
+//! asserting both are at least 2× while the optimum stays bit-identical.
+//!
 //! Usage: `explore_bench [--trace-folded] [output-path]`
 //! (default `BENCH_explore.json`).
 //!
@@ -22,12 +28,13 @@
 //! all runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
 //! `CONTRARC_TRACE=path.jsonl` writes the full JSONL trace instead.
 
-use contrarc::{ExplorationStats, Explorer, ExplorerConfig, Problem, Step};
+use contrarc::{ExplorationStats, Explorer, ExplorerConfig, Problem, Step, SymmetryConfig};
 use contrarc_milp::Budget;
 use contrarc_obs::event;
+use contrarc_obs::metrics::{self, MetricsReport};
 use contrarc_obs::sinks::{CollapsedStackSink, NoopSink};
 use contrarc_systems::epn::{build as build_epn, EpnConfig};
-use contrarc_systems::rpl::{build as build_rpl, RplConfig, RplLines};
+use contrarc_systems::rpl::{build as build_rpl, build_parallel, RplConfig, RplLines};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -92,10 +99,11 @@ struct Run {
     per_iter: Vec<IterSample>,
 }
 
-fn run_once(problem: &Problem, threads: usize, mode: WarmMode) -> Run {
+fn run_once(problem: &Problem, threads: usize, mode: WarmMode, symmetry: SymmetryConfig) -> Run {
     let budget = Budget::unlimited();
     let mut cfg = ExplorerConfig {
         threads,
+        symmetry,
         ..ExplorerConfig::complete()
     };
     cfg.solve_options.budget = budget.clone();
@@ -208,7 +216,7 @@ fn json_run(r: &Run) -> String {
 fn warm_comparison(case: &Case) -> String {
     let runs: Vec<(WarmMode, Run)> = [WarmMode::Cold, WarmMode::Warm, WarmMode::Deep]
         .into_iter()
-        .map(|m| (m, run_once(&case.problem, 1, m)))
+        .map(|m| (m, run_once(&case.problem, 1, m, SymmetryConfig::default())))
         .collect();
     let cold = &runs[0].1;
     for (mode, run) in &runs {
@@ -281,7 +289,7 @@ fn warm_comparison(case: &Case) -> String {
 fn bench_case(case: &Case) -> String {
     let runs: Vec<Run> = THREAD_POINTS
         .iter()
-        .map(|&t| run_once(&case.problem, t, WarmMode::Warm))
+        .map(|&t| run_once(&case.problem, t, WarmMode::Warm, SymmetryConfig::default()))
         .collect();
     let serial = &runs[0];
     for run in &runs[1..] {
@@ -314,10 +322,158 @@ fn bench_case(case: &Case) -> String {
     )
 }
 
+/// Counter deltas between two registry snapshots (absent counters read 0).
+fn counter_delta(before: &MetricsReport, after: &MetricsReport, name: &str) -> u64 {
+    after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
+}
+
+/// Symmetry counters attributed to one exploration run.
+struct SymSample {
+    template_orbits: u64,
+    generators: u64,
+    orbits: u64,
+    embeddings_enumerated: u64,
+    embeddings_total: u64,
+    milp_rows: u64,
+    refactor_reuse: u64,
+}
+
+/// The symmetric stress case: three identical parallel RPL lines, explored
+/// with symmetry reduction off (serial) and on (at every thread point).
+/// Asserts the headline claims of the symmetry layer — bit-identical optima
+/// on vs. off, cross-thread determinism with symmetry on, at least a 2×
+/// reduction in VF2 embeddings enumerated (orbit representatives vs. the
+/// expanded total, which equals the full-enumeration count), and at least
+/// a 2× reduction in branch-and-bound nodes visited — and renders a case
+/// object carrying the counters that prove them. Must run inside the
+/// `with_metrics` scope (reads `sym.*` / `milp.refactor_reuse` via registry
+/// snapshots).
+fn symmetry_case() -> String {
+    // The default two-stage config's cheapest chain busts the latency
+    // budget, so the exploration needs several certificate-cut iterations —
+    // without them the matcher (and its counters) never runs. Six lines
+    // give a line-permutation group of 720 (lex rows capped at the first
+    // 64 elements), big enough that the >=2x reductions hold with margin.
+    let problem = build_parallel(&RplConfig::default(), 6);
+
+    let measure = |threads: usize, symmetry: SymmetryConfig| -> (Run, SymSample) {
+        let before = metrics::snapshot();
+        let run = run_once(&problem, threads, WarmMode::Warm, symmetry);
+        let after = metrics::snapshot();
+        let d = |name| counter_delta(&before, &after, name);
+        let sym = SymSample {
+            template_orbits: d("sym.template_orbits"),
+            generators: d("sym.generators"),
+            orbits: d("sym.orbits"),
+            embeddings_enumerated: d("sym.embeddings_enumerated"),
+            embeddings_total: d("sym.embeddings_total"),
+            milp_rows: d("sym.milp_rows"),
+            refactor_reuse: d("milp.refactor_reuse"),
+        };
+        (run, sym)
+    };
+
+    let (off, off_sym) = measure(1, SymmetryConfig::off());
+    assert_eq!(
+        off_sym.milp_rows, 0,
+        "symmetry off must add no symmetry-breaking rows"
+    );
+    assert_eq!(
+        off_sym.embeddings_enumerated, 0,
+        "symmetry off must not take the orbit-pruned matcher path"
+    );
+
+    let on_runs: Vec<(Run, SymSample)> = THREAD_POINTS
+        .iter()
+        .map(|&t| measure(t, SymmetryConfig::default()))
+        .collect();
+    let (on, on_sym) = &on_runs[0];
+
+    // Symmetry reduction is an accelerator, not a semantic knob: the
+    // optimum must be bit-identical with and without it.
+    assert_eq!(
+        off.cost.to_bits(),
+        on.cost.to_bits(),
+        "symmetric case: optimum must be bit-identical with symmetry on vs off",
+    );
+    // Cross-thread determinism with symmetry on (orbit expansion happens at
+    // serial commit points, so the whole trajectory is thread-invariant).
+    for (run, run_sym) in &on_runs[1..] {
+        assert_eq!(
+            on.cost.to_bits(),
+            run.cost.to_bits(),
+            "symmetric case: optimum at threads={} must match serial",
+            run.threads,
+        );
+        assert_eq!(on.stats.iterations, run.stats.iterations);
+        assert_eq!(on.stats.cuts_added, run.stats.cuts_added);
+        assert_eq!(on_sym.orbits, run_sym.orbits);
+        assert_eq!(on_sym.embeddings_enumerated, run_sym.embeddings_enumerated);
+        assert_eq!(on_sym.embeddings_total, run_sym.embeddings_total);
+    }
+
+    // Headline reductions. `embeddings_total` is the size of the expanded
+    // cut family — identical to what full enumeration would visit — while
+    // `embeddings_enumerated` is what the orbit-pruned backtracker actually
+    // explored.
+    assert!(
+        on_sym.embeddings_total >= 2 * on_sym.embeddings_enumerated.max(1),
+        "symmetric case: expected >=2x embedding reduction, enumerated {} of {}",
+        on_sym.embeddings_enumerated,
+        on_sym.embeddings_total,
+    );
+    assert!(
+        off.nodes >= 2 * on.nodes.max(1),
+        "symmetric case: expected >=2x fewer B&B nodes, got {} off vs {} on",
+        off.nodes,
+        on.nodes,
+    );
+
+    let embedding_reduction =
+        on_sym.embeddings_total as f64 / (on_sym.embeddings_enumerated as f64).max(1.0);
+    let node_reduction = off.nodes as f64 / (on.nodes as f64).max(1.0);
+    let rendered: Vec<String> = on_runs.iter().map(|(r, _)| json_run(r)).collect();
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"case\": \"rpl-par-6x1-s2\",\n",
+            "      \"symmetry\": {{\n",
+            "        \"template_orbits\": {},\n",
+            "        \"generators\": {},\n",
+            "        \"orbits\": {},\n",
+            "        \"embeddings_enumerated\": {},\n",
+            "        \"embeddings_total\": {},\n",
+            "        \"embedding_reduction\": {:.4},\n",
+            "        \"milp_rows\": {},\n",
+            "        \"refactor_reuse\": {},\n",
+            "        \"nodes_off\": {},\n",
+            "        \"nodes_on\": {},\n",
+            "        \"node_reduction\": {:.4}\n",
+            "      }},\n",
+            "      \"off_run\": [\n{}\n      ],\n",
+            "      \"runs\": [\n{}\n      ]\n",
+            "    }}"
+        ),
+        on_sym.template_orbits,
+        on_sym.generators,
+        on_sym.orbits,
+        on_sym.embeddings_enumerated,
+        on_sym.embeddings_total,
+        embedding_reduction,
+        on_sym.milp_rows,
+        on_sym.refactor_reuse,
+        off.nodes,
+        on.nodes,
+        node_reduction,
+        json_run(&off),
+        rendered.join(",\n"),
+    )
+}
+
 /// Minimum wall-clock over `runs` serial explorations of the RPL case.
 fn min_wall(problem: &Problem, runs: usize) -> f64 {
     (0..runs)
-        .map(|_| run_once(problem, 1, WarmMode::Warm).wall_secs)
+        .map(|_| run_once(problem, 1, WarmMode::Warm, SymmetryConfig::default()).wall_secs)
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -360,7 +516,9 @@ fn main() {
     // report.
     let cases = cases();
     let (case_json, metrics) = contrarc_obs::metrics::with_metrics(|| {
-        cases.iter().map(bench_case).collect::<Vec<String>>()
+        let mut rendered: Vec<String> = cases.iter().map(bench_case).collect();
+        rendered.push(symmetry_case());
+        rendered
     });
 
     // Overhead guard: an installed NoopSink must be free (within noise).

@@ -23,8 +23,10 @@ use crate::problem::Problem;
 use crate::refinement::{Violation, ViolationScope};
 use crate::template::TypeId;
 use crate::viewpoint::Viewpoint;
-use contrarc_graph::iso::{subgraph_isomorphisms_par, Embedding, MatchMode};
-use contrarc_graph::{DiGraph, NodeId};
+use contrarc_graph::iso::{
+    subgraph_isomorphisms_orbits, subgraph_isomorphisms_par, Embedding, MatchMode,
+};
+use contrarc_graph::{Automorphisms, DiGraph, NodeId};
 use contrarc_milp::{Cmp, LinExpr, SolveError, VarId};
 use std::collections::BTreeSet;
 
@@ -98,6 +100,14 @@ impl Default for CutConfig {
 /// MILP. Returns the number of cuts added (always ≥ 1: the current candidate
 /// itself is excluded, which guarantees loop progress).
 ///
+/// `sym`, when present, carries the template's type-labeled automorphism
+/// group: embedding enumeration then runs in orbit-pruned mode (one VF2
+/// search per root orbit) and each representative embedding is expanded
+/// across the orbit under the group generators. The resulting embedding
+/// *set* — and therefore the cut set, after dedup — is identical to a full
+/// enumeration; only the work to produce it shrinks. The group must have
+/// been computed over a graph with the same node order as the template.
+///
 /// `cut_seq` is a caller-owned counter used to keep generated constraint
 /// names unique across iterations.
 ///
@@ -110,6 +120,7 @@ pub fn apply_cuts(
     arch: &Architecture,
     violation: &Violation,
     config: &CutConfig,
+    sym: Option<&Automorphisms>,
     cut_seq: &mut u32,
 ) -> Result<usize, SolveError> {
     let iso_pruning = config.iso_pruning;
@@ -176,13 +187,29 @@ pub fn apply_cuts(
 
     // --- embeddings ------------------------------------------------------------
     let embeddings: Vec<Embedding> = if iso_pruning {
-        subgraph_isomorphisms_par(
-            &pattern,
-            &target,
-            MatchMode::Monomorphism,
-            config.threads,
-            |a, b| a == b,
-        )
+        match sym {
+            Some(aut) if !aut.is_trivial() => {
+                let found = subgraph_isomorphisms_orbits(
+                    &pattern,
+                    &target,
+                    MatchMode::Monomorphism,
+                    config.threads,
+                    aut,
+                    |a, b| a == b,
+                );
+                contrarc_obs::metrics::counter_add("sym.orbits", found.orbits.len() as u64);
+                contrarc_obs::metrics::counter_add("sym.embeddings_enumerated", found.enumerated);
+                contrarc_obs::metrics::counter_add("sym.embeddings_total", found.total() as u64);
+                found.into_embeddings()
+            }
+            _ => subgraph_isomorphisms_par(
+                &pattern,
+                &target,
+                MatchMode::Monomorphism,
+                config.threads,
+                |a, b| a == b,
+            ),
+        }
     } else {
         // Identity embedding: each pattern node to its own template node.
         vec![Embedding::from_mapping(
@@ -441,6 +468,7 @@ mod tests {
             &arch,
             &violation,
             &CutConfig::default(),
+            None,
             &mut seq,
         )
         .unwrap();
@@ -464,6 +492,7 @@ mod tests {
                 iso_pruning: false,
                 ..CutConfig::default()
             },
+            None,
             &mut seq,
         )
         .unwrap();
@@ -491,6 +520,7 @@ mod tests {
             &arch,
             &violation,
             &CutConfig::default(),
+            None,
             &mut seq,
         )
         .unwrap();
@@ -530,6 +560,7 @@ mod tests {
             &arch,
             &violation,
             &CutConfig::default(),
+            None,
             &mut seq,
         )
         .unwrap();
@@ -550,6 +581,45 @@ mod tests {
     }
 
     #[test]
+    fn orbit_expansion_matches_full_enumeration() {
+        let p = two_lines();
+        let violation_of = |arch: &Architecture| path_violation(&p, arch);
+
+        let (mut enc_full, arch) = first_candidate(&p);
+        let mut seq_full = 0;
+        let added_full = apply_cuts(
+            &p,
+            &mut enc_full,
+            &arch,
+            &violation_of(&arch),
+            &CutConfig::default(),
+            None,
+            &mut seq_full,
+        )
+        .unwrap();
+
+        let aut = crate::sym::matcher_automorphisms(&p);
+        assert!(!aut.is_trivial(), "two identical lines must be symmetric");
+        let (mut enc_sym, arch2) = first_candidate(&p);
+        let mut seq_sym = 0;
+        let added_sym = apply_cuts(
+            &p,
+            &mut enc_sym,
+            &arch2,
+            &violation_of(&arch2),
+            &CutConfig::default(),
+            Some(&aut),
+            &mut seq_sym,
+        )
+        .unwrap();
+
+        // One VF2 search per root orbit, but the expanded cut set is the
+        // full symmetric family: both lines get cut either way.
+        assert_eq!(added_sym, added_full);
+        assert_eq!(enc_sym.model.num_constrs(), enc_full.model.num_constrs());
+    }
+
+    #[test]
     fn cut_seq_keeps_names_unique() {
         let p = two_lines();
         let (mut enc, arch) = first_candidate(&p);
@@ -561,6 +631,7 @@ mod tests {
             &arch,
             &violation,
             &CutConfig::default(),
+            None,
             &mut seq,
         )
         .unwrap();
@@ -571,6 +642,7 @@ mod tests {
             &arch,
             &violation,
             &CutConfig::default(),
+            None,
             &mut seq,
         )
         .unwrap();

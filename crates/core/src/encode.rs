@@ -22,9 +22,11 @@
 use crate::attr;
 use crate::library::ImplId;
 use crate::problem::Problem;
+use crate::sym::SymmetryConfig;
 use contrarc_graph::{EdgeId, NodeId};
 use contrarc_milp::encode as menc;
 use contrarc_milp::{Cmp, LinExpr, Model, Sense, SolveError, VarId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The Problem-2 MILP together with its variable registry.
 #[derive(Debug, Clone)]
@@ -88,7 +90,8 @@ fn clamped(v: f64, cap: f64) -> f64 {
     }
 }
 
-/// Build the Problem-2 MILP for a problem instance.
+/// Build the Problem-2 MILP for a problem instance, with the default
+/// symmetry-breaking rows (on).
 ///
 /// # Errors
 ///
@@ -96,6 +99,22 @@ fn clamped(v: f64, cap: f64) -> f64 {
 /// [`Problem::validate`]-level invariants needed by the encoding (e.g. a
 /// node type without implementations).
 pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
+    encode_problem2_sym(problem, &SymmetryConfig::default())
+}
+
+/// Build the Problem-2 MILP with explicit control over the symmetry rows
+/// ([`SymmetryConfig::milp_rows`]; `orbit_pruning` does not affect the
+/// encoding). With rows off the model is exactly the pre-symmetry encoding.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidModel`] when the problem fails
+/// [`Problem::validate`]-level invariants needed by the encoding (e.g. a
+/// node type without implementations).
+pub fn encode_problem2_sym(
+    problem: &Problem,
+    symmetry: &SymmetryConfig,
+) -> Result<Encoding, SolveError> {
     let issues = problem.validate();
     if !issues.is_empty() {
         return Err(SolveError::InvalidModel(issues.join("; ")));
@@ -268,50 +287,163 @@ pub fn encode_problem2(problem: &Problem) -> Result<Encoding, SolveError> {
     }
 
     // --- symmetry breaking ---------------------------------------------------
-    // Slots of the same type with identical candidate neighborhoods are
-    // interchangeable: order their instantiation indicators so the solver
-    // never re-proves optimality across slot permutations. Sound because a
-    // permutation of such slots maps any architecture to an equivalent one
-    // (and Algorithm 2's isomorphism cuts already treat them uniformly).
-    {
-        use std::collections::BTreeMap;
-        // Slot type, required flag, weight bits, sorted in/out neighborhoods.
-        type OrbitKey = (u32, bool, u64, Vec<u32>, Vec<u32>);
-        let mut orbits: BTreeMap<OrbitKey, Vec<usize>> = BTreeMap::new();
-        for n in t.node_ids() {
-            let info = t.node(n);
-            let mut ins: Vec<u32> = t
-                .graph()
-                .in_edges(n)
-                .map(|e| e.src.index() as u32)
+    // Orbits of the encoding automorphism group: any permutation preserving
+    // type, required flag, cost weight, and candidate adjacency maps a
+    // solution of the model (of this one, and of every later cut-augmented
+    // model, since certificate cuts are generated per isomorphic embedding
+    // and so are closed under these permutations) to an equal-cost solution.
+    // Ordering β along the orbits therefore keeps at least the β-lex-largest
+    // member of every solution class while pruning its mirror images from
+    // branch-and-bound.
+    if symmetry.milp_rows {
+        let aut = crate::sym::encoding_automorphisms(problem);
+        if !aut.is_trivial() {
+            let mut sym_rows = 0u64;
+            let mut edges: Vec<(usize, usize)> = t
+                .candidate_edges()
+                .map(|(_, a, b)| (a.index(), b.index()))
                 .collect();
-            let mut outs: Vec<u32> = t
-                .graph()
-                .out_edges(n)
-                .map(|e| e.dst.index() as u32)
-                .collect();
-            ins.sort_unstable();
-            outs.sort_unstable();
-            // Exclude orbit-mates from the key indirectly: parallel slots
-            // have the same *external* neighborhoods, which is exactly what
-            // the raw candidate edges express in a layered template.
-            orbits
-                .entry((
-                    info.ty.index() as u32,
-                    info.required,
-                    info.weight.to_bits(),
-                    ins,
-                    outs,
-                ))
-                .or_default()
-                .push(n.index());
-        }
-        for (key, members) in orbits {
-            let _ = key;
-            for pair in members.windows(2) {
-                let (a, b) = (pair[0], pair[1]);
-                enc_sym(&mut model, &beta_vars, a, b)?;
+            edges.sort_unstable();
+            // Is swapping just u and v an automorphism? (Labels already agree
+            // for nodes of one orbit, so only adjacency needs checking.)
+            let transposable = |u: usize, v: usize| {
+                let mut mapped: Vec<(usize, usize)> = edges
+                    .iter()
+                    .map(|&(a, b)| {
+                        let m = |x: usize| match x {
+                            _ if x == u => v,
+                            _ if x == v => u,
+                            _ => x,
+                        };
+                        (m(a), m(b))
+                    })
+                    .collect();
+                mapped.sort_unstable();
+                mapped == edges
+            };
+
+            // A pairwise-transposable subset of an orbit carries a full
+            // symmetric group, where a monotone β-chain keeps exactly the
+            // lex-largest arrangement. Greedily partition each orbit into
+            // such cliques and chain each one; these two-term rows are
+            // redundant with the prefix-lex rows below but propagate much
+            // better through the LP relaxation.
+            for orbit in aut.orbits() {
+                if orbit.len() < 2 {
+                    continue;
+                }
+                let mut cliques: Vec<Vec<usize>> = Vec::new();
+                for &v in &orbit {
+                    match cliques
+                        .iter_mut()
+                        .find(|c| c.iter().all(|&u| transposable(u, v)))
+                    {
+                        Some(c) => c.push(v),
+                        None => cliques.push(vec![v]),
+                    }
+                }
+                for clique in &cliques {
+                    for pair in clique.windows(2) {
+                        enc_sym(&mut model, &beta_vars, pair[0], pair[1])?;
+                        sym_rows += 1;
+                    }
+                }
             }
+
+            // Symmetry beyond single transpositions (rotations, coupled
+            // swaps): one prefix-lexicographic row per group element σ
+            // forces β ≥_lex β∘σ over the first moved positions. The
+            // β-lex-max member of every solution orbit satisfies all of
+            // these rows simultaneously, so none cuts a whole class — and
+            // that holds for any subset of group elements, so capping the
+            // closure below stays sound (just weaker). For small groups
+            // the closure gives the complete lex-leader constraint set;
+            // generator-only rows leave most composite symmetries (e.g.
+            // the 3-cycles of a line-permutation group) unbroken.
+            const MAX_GROUP: usize = 64;
+            let n = aut.num_nodes();
+            let identity: Vec<usize> = (0..n).collect();
+            let mut elems: BTreeSet<Vec<usize>> = BTreeSet::new();
+            elems.insert(identity.clone());
+            let mut frontier: Vec<Vec<usize>> = vec![identity.clone()];
+            while let Some(p) = frontier.pop() {
+                for g in aut.generators() {
+                    let q: Vec<usize> = (0..n).map(|v| g[p[v]]).collect();
+                    if elems.len() >= MAX_GROUP {
+                        frontier.clear();
+                        break;
+                    }
+                    if elems.insert(q.clone()) {
+                        frontier.push(q);
+                    }
+                }
+            }
+
+            // The ordered binary vector each row compares reads, per moved
+            // node ascending, first β then the mapping variables (σ links
+            // m[v][i] to m[σ(v)][i] — same type, same menu, same order).
+            // Rows over β alone are vacuous whenever every node of an
+            // orbit is instantiated (β ≡ 1, the common case for slim
+            // templates); the mapping variables carry the real symmetry
+            // of "which line runs which implementations". The prefix is
+            // capped so the dominant weight stays ≤ 2^7: power-of-two
+            // weights are exact in f64, but wide spreads against the
+            // unit-coefficient rows degrade basis conditioning — the
+            // retry ladder was observed exhausting itself on singular
+            // refactorizations at 2^23, and still at 2^15, on heavily
+            // symmetric models. Truncation also makes distinct group
+            // elements collapse onto identical rows, so rows are deduped
+            // by their position list.
+            const LEX_PREFIX: usize = 8;
+            let mut lex_seq = 0u32;
+            let mut seen_rows: BTreeSet<Vec<(VarId, VarId)>> = BTreeSet::new();
+            // Branching priorities: a symlex row only prunes once its
+            // leading positions are fixed (a 0-fix on the leading variable
+            // forces the mirror variable to 0 through the dominant weight),
+            // so pull branch-and-bound toward early positions. Each
+            // variable keeps the strongest pull any row gives it.
+            let mut prio: BTreeMap<VarId, f64> = BTreeMap::new();
+            for g in &elems {
+                let moved: Vec<usize> = (0..n).filter(|&v| g[v] != v).collect();
+                if moved.is_empty() {
+                    continue; // identity
+                }
+                let mut positions: Vec<(VarId, VarId)> = Vec::new();
+                'outer: for &v in &moved {
+                    positions.push((beta_vars[v], beta_vars[g[v]]));
+                    for (mv, mg) in map_vars[v].iter().zip(&map_vars[g[v]]) {
+                        if positions.len() >= LEX_PREFIX {
+                            break 'outer;
+                        }
+                        positions.push((mv.1, mg.1));
+                    }
+                    if positions.len() >= LEX_PREFIX {
+                        break;
+                    }
+                }
+                if !seen_rows.insert(positions.clone()) {
+                    continue;
+                }
+                let k = positions.len();
+                let mut lhs = LinExpr::new();
+                for (i, &(a, b)) in positions.iter().enumerate() {
+                    let w = (1u64 << (k - 1 - i)) as f64;
+                    lhs.add_term(a, w);
+                    lhs.add_term(b, -w);
+                    let pull = 1.0 + 8.0 * 0.5_f64.powi(i32::try_from(i).unwrap_or(i32::MAX));
+                    for v in [a, b] {
+                        let e = prio.entry(v).or_insert(1.0);
+                        *e = (*e).max(pull);
+                    }
+                }
+                model.add_constr(format!("symlex[{lex_seq}]"), lhs, Cmp::Ge, 0.0)?;
+                lex_seq += 1;
+                sym_rows += 1;
+            }
+            for (&v, &p) in &prio {
+                model.set_branch_priority(v, p);
+            }
+            contrarc_obs::metrics::counter_add("sym.milp_rows", sym_rows);
         }
     }
 
@@ -679,6 +811,82 @@ mod tests {
         let out = enc.model.solve(&SolveOptions::default()).unwrap();
         // Demand 6 needs both sources (4 each), but max_in = 1 forbids it.
         assert!(!out.is_feasible());
+    }
+
+    #[test]
+    fn symmetry_rows_preserve_optimum() {
+        // Two identical parallel lines: the sym rows must prune permutations
+        // without changing the optimal cost.
+        let mut t = Template::new("twin");
+        let src_t = t.add_type("src", TypeConfig::source());
+        let mach_t = t.add_type("mach", TypeConfig::bounded(2, 2));
+        let sink_t = t.add_type("sink", TypeConfig::sink());
+        for side in ["A", "B"] {
+            let s = t.add_node(format!("S{side}"), src_t);
+            let m = t.add_node(format!("M{side}"), mach_t);
+            let k = t.add_required_node(format!("K{side}"), sink_t);
+            t.add_candidate_edge(s, m);
+            t.add_candidate_edge(m, k);
+        }
+        let mut lib = Library::new();
+        lib.add(
+            "S",
+            src_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_GEN, 10.0),
+        );
+        lib.add(
+            "M",
+            mach_t,
+            Attrs::new().with(COST, 2.0).with(THROUGHPUT, 20.0),
+        );
+        lib.add(
+            "K",
+            sink_t,
+            Attrs::new().with(COST, 1.0).with(FLOW_CONS, 5.0),
+        );
+        let spec = SystemSpec {
+            flow: Some(FlowSpec {
+                max_supply: 100.0,
+                max_consumption: 100.0,
+            }),
+            timing: None,
+            ..SystemSpec::default()
+        };
+        let p = Problem::new(t, lib, spec);
+
+        let enc_on = encode_problem2(&p).unwrap();
+        let enc_off = encode_problem2_sym(&p, &SymmetryConfig::off()).unwrap();
+        assert!(
+            enc_on.model.num_constrs() > enc_off.model.num_constrs(),
+            "symmetric template must gain symmetry rows"
+        );
+        let cost_on = enc_on
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap()
+            .objective();
+        let cost_off = enc_off
+            .model
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .expect_optimal()
+            .unwrap()
+            .objective();
+        assert_eq!(
+            cost_on.to_bits(),
+            cost_off.to_bits(),
+            "symmetry rows must preserve the optimum bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn asymmetric_template_gets_no_symmetry_rows() {
+        let p = chain_problem();
+        let enc_on = encode_problem2(&p).unwrap();
+        let enc_off = encode_problem2_sym(&p, &SymmetryConfig::off()).unwrap();
+        assert_eq!(enc_on.model.num_constrs(), enc_off.model.num_constrs());
     }
 
     #[test]

@@ -4,10 +4,12 @@
 use crate::candidate::Architecture;
 use crate::certificate::{apply_cuts, CutConfig};
 use crate::checkpoint::{fingerprint, AuxVarRecord, CutRecord, ExplorerCheckpoint};
-use crate::encode::encode_problem2;
+use crate::encode::encode_problem2_sym;
 use crate::problem::Problem;
 use crate::refinement::{check_candidate_all_cached, RefinementCache, RefinementConfig};
+use crate::sym::SymmetryConfig;
 use contrarc_contracts::{EncodeOptions, RefinementChecker};
+use contrarc_graph::Automorphisms;
 use contrarc_milp::{Budget, LinExpr, SolveError, SolveOptions, VarDef, VarId};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -45,6 +47,15 @@ pub struct ExplorerConfig {
     pub solve_options: SolveOptions,
     /// Cap on path enumeration during compositional checking.
     pub max_paths: usize,
+    /// Symmetry-aware exploration knobs: orbit-pruned certificate matching
+    /// and orbit-based symmetry-breaking rows in the Problem-2 MILP. Both
+    /// default on; either can be disabled independently. Like `threads`,
+    /// not part of the checkpoint fingerprint: symmetry reduction is an
+    /// accelerator — the optimum is bit-identical and certificate cuts are
+    /// sound with it on or off — so a run may be checkpointed under one
+    /// setting and resumed under another (the fingerprint hashes the
+    /// symmetry-free baseline encoding).
+    pub symmetry: SymmetryConfig,
     /// Worker threads for every parallel phase of the exploration:
     /// speculative branch-and-bound node evaluation in candidate selection,
     /// the per-path refinement wave, and certificate embedding enumeration.
@@ -74,6 +85,7 @@ impl Default for ExplorerConfig {
             time_limit_secs: None,
             solve_options: SolveOptions::default(),
             max_paths: 100_000,
+            symmetry: SymmetryConfig::default(),
             threads: 0,
             observer: contrarc_obs::Observer::none(),
         }
@@ -638,6 +650,12 @@ pub struct Explorer<'p> {
     /// Constraints in the freshly encoded model; rows beyond this index are
     /// certificate cuts.
     baseline_constrs: usize,
+    /// Constraints in the *symmetry-free* baseline encoding. Checkpoints
+    /// record this count (not `baseline_constrs`, which includes any
+    /// symmetry-breaking rows) so they stay interchangeable across symmetry
+    /// settings and with pre-symmetry checkpoint files. Variables need no
+    /// such twin: symmetry rows add none.
+    canonical_constrs: usize,
     /// FNV-1a fingerprint of the baseline encoding + pruning configuration,
     /// used to validate checkpoints.
     fingerprint: u64,
@@ -653,6 +671,9 @@ pub struct Explorer<'p> {
     /// checkpoint — a resumed run cold-starts its first solve and produces
     /// the same exploration either way.
     warm: Option<contrarc_milp::WarmStart>,
+    /// Type-labeled template automorphism group for orbit-pruned certificate
+    /// matching; `None` when disabled or when the template is asymmetric.
+    sym: Option<Automorphisms>,
 }
 
 impl<'p> Explorer<'p> {
@@ -666,7 +687,21 @@ impl<'p> Explorer<'p> {
         // stream before the first instrumented call site runs. Sinks observe
         // only: nothing below ever reads them back.
         config.observer.install();
-        let enc = encode_problem2(problem)?;
+        let enc = encode_problem2_sym(problem, &config.symmetry)?;
+        // Orbit-pruned matching uses the *matcher* group (type labels only —
+        // the compatibility VF2 matches under), computed once per run.
+        let sym = if config.symmetry.orbit_pruning && config.iso_pruning {
+            let aut = crate::sym::matcher_automorphisms(problem);
+            contrarc_obs::metrics::counter_add("sym.template_orbits", aut.num_orbits() as u64);
+            contrarc_obs::metrics::counter_add("sym.generators", aut.generators().len() as u64);
+            if aut.is_trivial() {
+                None
+            } else {
+                Some(aut)
+            }
+        } else {
+            None
+        };
         let model_stats = enc.model.stats();
         let stats = ExplorationStats {
             milp_vars: model_stats.num_vars,
@@ -700,7 +735,25 @@ impl<'p> Explorer<'p> {
         };
         let baseline_vars = enc.model.num_vars();
         let baseline_constrs = enc.model.num_constrs();
-        let fingerprint = fingerprint(&enc.model, &problem.spec, &config);
+        // The fingerprint hashes the *symmetry-free* baseline encoding:
+        // symmetry rows are an accelerator (bit-identical optima, and cuts
+        // are per-embedding, closed under the group, hence sound with the
+        // rows on or off), so checkpoints stay interchangeable across
+        // symmetry settings — including checkpoints written before the
+        // symmetry layer existed. The rows add no variables, so replayed
+        // cut records index the same columns either way.
+        let (fingerprint, canonical_constrs) = if config.symmetry.milp_rows {
+            let baseline = encode_problem2_sym(problem, &SymmetryConfig::off())?;
+            (
+                fingerprint(&baseline.model, &problem.spec, &config),
+                baseline.model.num_constrs(),
+            )
+        } else {
+            (
+                fingerprint(&enc.model, &problem.spec, &config),
+                enc.model.num_constrs(),
+            )
+        };
         Ok(Explorer {
             problem,
             config,
@@ -717,11 +770,13 @@ impl<'p> Explorer<'p> {
             incumbent: None,
             baseline_vars,
             baseline_constrs,
+            canonical_constrs,
             fingerprint,
             cache: RefinementCache::new(),
             prior_cache_hits: 0,
             prior_cache_misses: 0,
             warm: None,
+            sym,
         })
     }
 
@@ -755,13 +810,13 @@ impl<'p> Explorer<'p> {
                 found: ex.fingerprint,
             });
         }
-        if ex.baseline_constrs != checkpoint.baseline_constrs
+        if ex.canonical_constrs != checkpoint.baseline_constrs
             || ex.baseline_vars != checkpoint.baseline_vars
         {
             return Err(ExploreError::CheckpointInvalid(format!(
                 "baseline has {} vars / {} constraints, checkpoint recorded {} / {}",
                 ex.baseline_vars,
-                ex.baseline_constrs,
+                ex.canonical_constrs,
                 checkpoint.baseline_vars,
                 checkpoint.baseline_constrs
             )));
@@ -864,7 +919,10 @@ impl<'p> Explorer<'p> {
         ExplorerCheckpoint {
             fingerprint: self.fingerprint,
             baseline_vars: self.baseline_vars,
-            baseline_constrs: self.baseline_constrs,
+            // Recorded as the symmetry-free count so the checkpoint resumes
+            // under any symmetry setting (the rows are re-derived, never
+            // serialized; cut rows are sliced off by the *actual* baseline).
+            baseline_constrs: self.canonical_constrs,
             cut_seq: self.cut_seq,
             cost_floor: self.cost_floor,
             nodes_used: self.budget.nodes_used(),
@@ -1051,6 +1109,7 @@ impl<'p> Explorer<'p> {
                 &arch,
                 v,
                 &cut_config,
+                self.sym.as_ref(),
                 &mut self.cut_seq,
             ) {
                 Ok(n) => added += n,
@@ -1383,6 +1442,87 @@ mod tests {
         let ckpt = ex.checkpoint();
         let err = Explorer::resume(&p, ExplorerConfig::only_iso(), &ckpt).unwrap_err();
         assert!(matches!(err, ExploreError::CheckpointMismatch { .. }));
+    }
+
+    #[test]
+    fn symmetry_off_matches_default_optimum() {
+        let p = lines_problem(15.0);
+        let on = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let off = explore(
+            &p,
+            &ExplorerConfig {
+                symmetry: SymmetryConfig::off(),
+                ..ExplorerConfig::complete()
+            },
+        )
+        .unwrap();
+        let cost_on = on.architecture().unwrap().cost();
+        let cost_off = off.architecture().unwrap().cost();
+        assert_eq!(
+            cost_on.to_bits(),
+            cost_off.to_bits(),
+            "symmetry must preserve the optimum bit-for-bit"
+        );
+        assert!(
+            on.stats().cuts_added >= off.stats().cuts_added,
+            "orbit expansion must not lose cuts ({} vs {})",
+            on.stats().cuts_added,
+            off.stats().cuts_added
+        );
+    }
+
+    #[test]
+    fn symmetry_runs_identically_across_thread_counts() {
+        let p = lines_problem(15.0);
+        let base = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let base_cost = base.architecture().unwrap().cost();
+        for threads in [2, 8] {
+            let run = explore(
+                &p,
+                &ExplorerConfig {
+                    threads,
+                    ..ExplorerConfig::complete()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                run.architecture().unwrap().cost().to_bits(),
+                base_cost.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(run.stats().iterations, base.stats().iterations);
+            assert_eq!(run.stats().cuts_added, base.stats().cuts_added);
+            assert_eq!(run.stats().cache_hits, base.stats().cache_hits);
+            assert_eq!(run.stats().cache_misses, base.stats().cache_misses);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resumes_across_symmetry_configs() {
+        // Symmetry reduction is an accelerator, not semantics: cuts learned
+        // under either setting are sound under the other, so a checkpoint
+        // written with symmetry on must resume with it off (and vice versa)
+        // and still reach the same optimum.
+        let p = lines_problem(15.0);
+        let on = ExplorerConfig::complete();
+        let off = ExplorerConfig {
+            symmetry: SymmetryConfig::off(),
+            ..ExplorerConfig::complete()
+        };
+        let expected = explore(&p, &on)
+            .unwrap()
+            .architecture()
+            .expect("feasible")
+            .cost();
+        for (write_cfg, resume_cfg) in [(on.clone(), off.clone()), (off, on)] {
+            let mut ex = Explorer::new(&p, write_cfg).unwrap();
+            let _ = ex.step().unwrap();
+            let ckpt = ex.checkpoint();
+            let resumed = Explorer::resume(&p, resume_cfg, &ckpt).unwrap();
+            let result = resumed.run().unwrap();
+            let cost = result.architecture().expect("feasible").cost();
+            assert_eq!(cost.to_bits(), expected.to_bits());
+        }
     }
 
     #[test]

@@ -86,6 +86,7 @@ mod library;
 mod problem;
 pub mod refinement;
 pub mod report;
+pub mod sym;
 pub mod synth;
 mod template;
 mod viewpoint;
@@ -99,5 +100,6 @@ pub use explorer::{
 pub use library::{ImplId, Implementation, Library};
 pub use problem::{FlowSpec, Problem, SystemSpec, TimingSpec};
 pub use refinement::{RefinementCache, RefinementConfig, Violation, ViolationScope};
+pub use sym::SymmetryConfig;
 pub use template::{Template, TemplateNode, TypeConfig, TypeId};
 pub use viewpoint::Viewpoint;

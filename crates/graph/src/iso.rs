@@ -14,8 +14,10 @@
 //! Node compatibility is a caller-supplied predicate, used by ContrArc to
 //! require equal component *types*.
 
+use crate::canon::Automorphisms;
 use crate::digraph::{DiGraph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Matching semantics for [`subgraph_isomorphisms`].
@@ -206,6 +208,199 @@ where
     let out: Vec<Embedding> = chunks.into_iter().flat_map(|(embs, _)| embs).collect();
     record_search_metrics(&mut search_span, out.len(), max_depth);
     out
+}
+
+/// One target-automorphism orbit of embeddings: the orbit-minimal
+/// representative plus every member (representative included), members
+/// sorted by their target-index vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingOrbit {
+    /// The lexicographically smallest member of the orbit.
+    pub representative: Embedding,
+    /// Every embedding in the orbit, representative included.
+    pub members: Vec<Embedding>,
+}
+
+impl EmbeddingOrbit {
+    /// Orbit size — the symmetry multiplier of the representative.
+    #[must_use]
+    pub fn multiplier(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Result of [`subgraph_isomorphisms_orbits`]: the embedding set grouped
+/// into target-automorphism orbits, plus how many embeddings the pruned
+/// search actually enumerated (the saved work is `total() - enumerated`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrbitMatches {
+    /// Orbits in the order their first-found member was enumerated.
+    pub orbits: Vec<EmbeddingOrbit>,
+    /// Embeddings the pruned VF2 search enumerated (before orbit expansion).
+    pub enumerated: u64,
+}
+
+impl OrbitMatches {
+    /// Total embeddings across all orbits — exactly the size of the set
+    /// [`subgraph_isomorphisms`] would have enumerated.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.orbits.iter().map(|o| o.members.len()).sum()
+    }
+
+    /// Flatten every orbit's members into one embedding list.
+    #[must_use]
+    pub fn into_embeddings(self) -> Vec<Embedding> {
+        self.orbits.into_iter().flat_map(|o| o.members).collect()
+    }
+}
+
+/// Orbit-pruned enumeration: find the same embedding *set* as
+/// [`subgraph_isomorphisms_par`] while only searching from one root image
+/// per target-node orbit, then recover the full set by closing each found
+/// embedding under the automorphism generators.
+///
+/// `aut` must describe the automorphisms of `target` under a node labeling
+/// at least as strong as `compat` distinguishes (ContrArc computes it with
+/// the component-type label that `compat` compares). Under that contract the
+/// expansion is exact:
+///
+/// * every generator image of an embedding is itself a valid embedding
+///   (generators preserve labels and the edge multiset, in both match
+///   modes), and
+/// * every embedding is a generator-closure image of one whose root maps to
+///   an orbit-minimal target node, because some group element carries its
+///   root image to the orbit representative.
+///
+/// The root list, the per-root searches, and the serial closure pass are all
+/// in deterministic order, so the result is identical for every thread
+/// count. With a trivial group this degrades to the plain parallel
+/// enumeration with singleton orbits.
+#[must_use]
+pub fn subgraph_isomorphisms_orbits<N1, E1, N2, E2, F>(
+    pattern: &DiGraph<N1, E1>,
+    target: &DiGraph<N2, E2>,
+    mode: MatchMode,
+    threads: usize,
+    aut: &Automorphisms,
+    compat: F,
+) -> OrbitMatches
+where
+    N1: Sync,
+    E1: Sync,
+    N2: Sync,
+    E2: Sync,
+    F: Fn(&N1, &N2) -> bool + Sync,
+{
+    assert_eq!(
+        aut.num_nodes(),
+        target.num_nodes(),
+        "automorphism group must act on the target's node set"
+    );
+    if aut.is_trivial() {
+        let found = subgraph_isomorphisms_par(pattern, target, mode, threads, compat);
+        let enumerated = found.len() as u64;
+        let orbits = found
+            .into_iter()
+            .map(|e| EmbeddingOrbit {
+                representative: e.clone(),
+                members: vec![e],
+            })
+            .collect();
+        return OrbitMatches { orbits, enumerated };
+    }
+
+    let np = pattern.num_nodes();
+    if np == 0 {
+        let e = Embedding { map: Vec::new() };
+        return OrbitMatches {
+            orbits: vec![EmbeddingOrbit {
+                representative: e.clone(),
+                members: vec![e],
+            }],
+            enumerated: 1,
+        };
+    }
+    if np > target.num_nodes() {
+        return OrbitMatches {
+            orbits: Vec::new(),
+            enumerated: 0,
+        };
+    }
+
+    let mut search_span = contrarc_obs::span!(
+        "vf2.search",
+        pattern_nodes = np,
+        target_nodes = target.num_nodes(),
+        threads = threads,
+    );
+    let order = matching_order(pattern, target, &compat);
+    let root = order[0];
+    // Depth-0 candidates restricted to one representative per target orbit;
+    // still in id order, so per-root chunks concatenate deterministically.
+    let roots: Vec<NodeId> = target
+        .node_ids()
+        .filter(|t| aut.orbit_rep(t.index()) == t.index())
+        .collect();
+    let threads = contrarc_par::effective_threads(threads.max(1));
+    let chunks = contrarc_par::parallel_map(threads.max(1), roots.len(), |i| {
+        let t = roots[i];
+        let mut state = State {
+            pattern,
+            target,
+            mode,
+            compat: &compat,
+            order: &order,
+            map: vec![None; np],
+            used: vec![false; target.num_nodes()],
+            out: Vec::new(),
+            max_depth: 0,
+        };
+        if state.feasible(root, t) {
+            state.map[root.index()] = Some(t);
+            state.used[t.index()] = true;
+            state.extend(1);
+        }
+        (state.out, state.max_depth)
+    });
+    let max_depth = chunks.iter().map(|(_, d)| *d).max().unwrap_or(0);
+    let found: Vec<Embedding> = chunks.into_iter().flat_map(|(embs, _)| embs).collect();
+    let enumerated = found.len() as u64;
+    record_search_metrics(&mut search_span, found.len(), max_depth);
+
+    // Serial expansion: close each found embedding under the generators.
+    // Two found embeddings can share an orbit (a group element may fix the
+    // orbit-minimal root while moving other images), so skip already-seen
+    // maps.
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut orbits = Vec::new();
+    for emb in found {
+        let key: Vec<usize> = emb.map.iter().map(|t| t.index()).collect();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.insert(key.clone());
+        let mut members = vec![key];
+        let mut i = 0;
+        while i < members.len() {
+            for g in aut.generators() {
+                let img: Vec<usize> = members[i].iter().map(|&t| g[t]).collect();
+                if seen.insert(img.clone()) {
+                    members.push(img);
+                }
+            }
+            i += 1;
+        }
+        members.sort_unstable();
+        let to_emb = |m: &Vec<usize>| Embedding {
+            map: m.iter().map(|&t| NodeId::from_index(t)).collect(),
+        };
+        orbits.push(EmbeddingOrbit {
+            representative: to_emb(&members[0]),
+            members: members.iter().map(to_emb).collect(),
+        });
+    }
+    OrbitMatches { orbits, enumerated }
 }
 
 /// Whether `pattern` and `target` are isomorphic as directed graphs
@@ -671,6 +866,147 @@ mod tests {
         // hub's 4 spokes in order: 4·3 = 12).
         let found = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
         assert_eq!(found.len(), 12);
+    }
+
+    /// Sorted target-index vectors of an embedding list, for set comparison.
+    fn emb_set(embs: &[Embedding]) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = embs
+            .iter()
+            .map(|e| e.as_slice().iter().map(|t| t.index()).collect())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn tgt_aut(g: &DiGraph<&'static str, ()>) -> crate::canon::Automorphisms {
+        crate::canon::automorphisms(g, |l| l.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn orbit_mode_reproduces_full_embedding_set() {
+        // Three identical parallel s -> m -> t lines: line swaps generate
+        // the symmetry, so the pruned search runs from one root only.
+        let pat = path_graph(&["s", "m", "t"]);
+        let mut tgt = DiGraph::new();
+        for _ in 0..3 {
+            let ids: Vec<_> = ["s", "m", "t"].iter().map(|&l| tgt.add_node(l)).collect();
+            tgt.add_edge(ids[0], ids[1], ());
+            tgt.add_edge(ids[1], ids[2], ());
+        }
+        let aut = tgt_aut(&tgt);
+        assert!(!aut.is_trivial());
+        let full = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(full.len(), 3);
+        for threads in [1usize, 2, 4] {
+            let orbits = subgraph_isomorphisms_orbits(
+                &pat,
+                &tgt,
+                MatchMode::Monomorphism,
+                threads,
+                &aut,
+                label_eq,
+            );
+            assert_eq!(orbits.enumerated, 1, "threads={threads}");
+            assert_eq!(orbits.total(), 3);
+            assert_eq!(orbits.orbits.len(), 1);
+            assert_eq!(orbits.orbits[0].multiplier(), 3);
+            assert_eq!(
+                emb_set(&orbits.clone().into_embeddings()),
+                emb_set(&full),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn orbit_mode_matches_full_set_on_asymmetric_roots() {
+        // Two identical lines plus one line with a distinct middle label:
+        // non-trivial group but not transitive on roots.
+        let pat = path_graph(&["s", "m", "t"]);
+        let mut tgt = DiGraph::new();
+        for mid in ["m", "m", "x"] {
+            let ids: Vec<_> = ["s", mid, "t"].iter().map(|&l| tgt.add_node(l)).collect();
+            tgt.add_edge(ids[0], ids[1], ());
+            tgt.add_edge(ids[1], ids[2], ());
+        }
+        let aut = tgt_aut(&tgt);
+        assert!(!aut.is_trivial());
+        let full = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        assert_eq!(full.len(), 2);
+        let orbits =
+            subgraph_isomorphisms_orbits(&pat, &tgt, MatchMode::Monomorphism, 1, &aut, label_eq);
+        assert_eq!(emb_set(&orbits.into_embeddings()), emb_set(&full));
+    }
+
+    #[test]
+    fn orbit_mode_trivial_group_is_plain_enumeration() {
+        let pat = path_graph(&["s", "m"]);
+        let tgt = path_graph(&["s", "m"]);
+        let aut = crate::canon::Automorphisms::identity(tgt.num_nodes());
+        let orbits =
+            subgraph_isomorphisms_orbits(&pat, &tgt, MatchMode::Monomorphism, 1, &aut, label_eq);
+        assert_eq!(orbits.enumerated, 1);
+        assert_eq!(orbits.total(), 1);
+        assert_eq!(orbits.orbits[0].multiplier(), 1);
+    }
+
+    #[test]
+    fn orbit_mode_disconnected_pattern() {
+        // Two isolated "a" pattern nodes in three identical "a" targets:
+        // full set is 6 injective maps, all in one orbit under S3.
+        let mut pat: DiGraph<&str, ()> = DiGraph::new();
+        pat.add_node("a");
+        pat.add_node("a");
+        let mut tgt: DiGraph<&str, ()> = DiGraph::new();
+        for _ in 0..3 {
+            tgt.add_node("a");
+        }
+        let aut = tgt_aut(&tgt);
+        let full = subgraph_isomorphisms(&pat, &tgt, MatchMode::Monomorphism, label_eq);
+        let orbits =
+            subgraph_isomorphisms_orbits(&pat, &tgt, MatchMode::Monomorphism, 2, &aut, label_eq);
+        assert!(orbits.enumerated < full.len() as u64);
+        assert_eq!(emb_set(&orbits.into_embeddings()), emb_set(&full));
+    }
+
+    #[test]
+    fn orbit_mode_handles_trivial_patterns() {
+        let tgt = path_graph(&["a", "a"]);
+        let aut = crate::canon::Automorphisms::identity(2);
+        let empty: DiGraph<&str, ()> = DiGraph::new();
+        let found =
+            subgraph_isomorphisms_orbits(&empty, &tgt, MatchMode::Monomorphism, 1, &aut, label_eq);
+        assert_eq!(found.total(), 1);
+        let big = path_graph(&["a", "a", "a"]);
+        let none =
+            subgraph_isomorphisms_orbits(&big, &tgt, MatchMode::Monomorphism, 1, &aut, label_eq);
+        assert_eq!(none.total(), 0);
+        assert_eq!(none.enumerated, 0);
+    }
+
+    #[test]
+    fn orbit_mode_thread_counts_agree_exactly() {
+        let pat = path_graph(&["s", "m", "t"]);
+        let mut tgt = DiGraph::new();
+        for _ in 0..4 {
+            let ids: Vec<_> = ["s", "m", "t"].iter().map(|&l| tgt.add_node(l)).collect();
+            tgt.add_edge(ids[0], ids[1], ());
+            tgt.add_edge(ids[1], ids[2], ());
+        }
+        let aut = tgt_aut(&tgt);
+        let base =
+            subgraph_isomorphisms_orbits(&pat, &tgt, MatchMode::Monomorphism, 1, &aut, label_eq);
+        for threads in [2usize, 4, 8] {
+            let par = subgraph_isomorphisms_orbits(
+                &pat,
+                &tgt,
+                MatchMode::Monomorphism,
+                threads,
+                &aut,
+                label_eq,
+            );
+            assert_eq!(base, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod paths;
 pub mod scc;
 pub mod topo;
 
-pub use canon::{canonical_form, CanonicalForm};
+pub use canon::{automorphisms, canonical_form, Automorphisms, CanonicalForm};
 pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId};
 pub use iso::{Embedding, MatchMode};

@@ -80,6 +80,10 @@ pub struct Model {
     constrs: Vec<Constraint>,
     objective: LinExpr,
     sense: Sense,
+    /// Branching priority multipliers indexed by variable; absent entries
+    /// (and models serialized before the field existed) read as `1.0`.
+    #[serde(default)]
+    branch_priorities: Vec<f64>,
 }
 
 impl Model {
@@ -155,6 +159,38 @@ impl Model {
             .iter()
             .enumerate()
             .map(|(i, d)| (VarId::from_index(i), d))
+    }
+
+    /// Set the branching priority multiplier of a variable. Branch-and-bound
+    /// scales its fractionality-based variable selection score by this
+    /// factor, so values above `1.0` pull branching toward `v` (e.g. toward
+    /// the leading positions of symmetry-breaking lexicographic rows, where
+    /// an early 0-fix lets the row prune the mirror subtree) and values in
+    /// `(0, 1)` push it away. The default for every variable is `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this model or `priority` is not
+    /// finite and positive.
+    pub fn set_branch_priority(&mut self, v: VarId, priority: f64) {
+        assert!(v.index() < self.vars.len(), "unknown variable {v:?}");
+        assert!(
+            priority.is_finite() && priority > 0.0,
+            "branch priority must be finite and positive, got {priority}"
+        );
+        if self.branch_priorities.len() < self.vars.len() {
+            self.branch_priorities.resize(self.vars.len(), 1.0);
+        }
+        self.branch_priorities[v.index()] = priority;
+    }
+
+    /// Branching priority multiplier of a variable (`1.0` unless set).
+    #[must_use]
+    pub fn branch_priority(&self, v: VarId) -> f64 {
+        self.branch_priorities
+            .get(v.index())
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Tighten the bounds of a variable (used by branch-and-bound and

@@ -177,6 +177,9 @@ pub(crate) struct LpSolve {
     pub warm_used: bool,
     /// Basis refactorizations performed during this solve.
     pub refactorizations: u64,
+    /// Optimal finishes that reused the current factorization instead of
+    /// rebuilding it (eta file already empty at canonicalization time).
+    pub refactor_reuses: u64,
 }
 
 /// One LP engine: constructed per solve over a borrowed standard form.
@@ -194,6 +197,9 @@ pub(crate) trait LpEngine<'a>: Sized {
     fn pivots(&self) -> u64;
     fn take_uncharged_pivots(&mut self) -> u64;
     fn refactorizations(&self) -> u64 {
+        0
+    }
+    fn refactor_reuses(&self) -> u64 {
         0
     }
 }
@@ -218,6 +224,7 @@ fn drive<'a, E: LpEngine<'a>>(req: &LpRequest<'a>) -> LpSolve {
     let warm_attempted = req.opts.warm_start && req.warm.is_some();
     let mut warm_used = false;
     let mut refactorizations = 0u64;
+    let mut refactor_reuses = 0u64;
     let mut pivots = 0u64;
     let lp_result = match req.warm {
         Some(snap) if req.opts.warm_start => match engine.solve_warm(snap) {
@@ -231,6 +238,7 @@ fn drive<'a, E: LpEngine<'a>>(req: &LpRequest<'a>) -> LpSolve {
                 // spent so budgets stay exact.
                 pivots += engine.pivots();
                 refactorizations += engine.refactorizations();
+                refactor_reuses += engine.refactor_reuses();
                 let settled = req
                     .opts
                     .budget
@@ -247,6 +255,7 @@ fn drive<'a, E: LpEngine<'a>>(req: &LpRequest<'a>) -> LpSolve {
     };
     pivots += engine.pivots();
     refactorizations += engine.refactorizations();
+    refactor_reuses += engine.refactor_reuses();
     // Settle the shared budget at the LP boundary; exhaustion takes
     // precedence over the LP outcome, matching the serial control flow.
     let charged = req
@@ -268,6 +277,7 @@ fn drive<'a, E: LpEngine<'a>>(req: &LpRequest<'a>) -> LpSolve {
         warm_attempted,
         warm_used,
         refactorizations,
+        refactor_reuses,
     }
 }
 

@@ -125,6 +125,7 @@ struct NodeEval {
     warm_attempted: bool,
     warm_used: bool,
     refactorizations: u64,
+    refactor_reuses: u64,
     result: Result<(LpOutcome, Option<Arc<BasisSnapshot>>), SolveError>,
 }
 
@@ -153,6 +154,7 @@ fn eval_node(
         warm_attempted: solve.warm_attempted,
         warm_used: solve.warm_used,
         refactorizations: solve.refactorizations,
+        refactor_reuses: solve.refactor_reuses,
         result: solve.result.map(|lp| (lp, solve.basis)),
     }
 }
@@ -290,8 +292,8 @@ pub(crate) fn solve_traced(
         .iter()
         .fold(0.0_f64, |a, &b| a.max(b))
         .max(1.0);
-    for w in &mut branch_weight {
-        *w = 1.0 + *w / wmax;
+    for (i, w) in branch_weight.iter_mut().enumerate() {
+        *w = (1.0 + *w / wmax) * model.branch_priority(crate::VarId::from_index(i));
     }
 
     // Build (and equilibrate) the matrix once; nodes only rebind bounds.
@@ -420,6 +422,9 @@ pub(crate) fn solve_traced(
         if eval.refactorizations > 0 {
             contrarc_obs::metrics::counter_add("milp.refactorizations", eval.refactorizations);
         }
+        if eval.refactor_reuses > 0 {
+            contrarc_obs::metrics::counter_add("milp.refactor_reuse", eval.refactor_reuses);
+        }
         if node.depth == 0 {
             root_pivots = Some(eval.pivots);
         }
@@ -495,6 +500,12 @@ pub(crate) fn solve_traced(
                         contrarc_obs::metrics::counter_add(
                             "milp.refactorizations",
                             fixed.refactorizations,
+                        );
+                    }
+                    if fixed.refactor_reuses > 0 {
+                        contrarc_obs::metrics::counter_add(
+                            "milp.refactor_reuse",
+                            fixed.refactor_reuses,
                         );
                     }
                     let fixed_basis = fixed.basis;

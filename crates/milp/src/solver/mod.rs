@@ -85,8 +85,12 @@ pub struct SolveOptions {
     /// Master switch for dual-simplex warm starts (falls back to a cold
     /// solve on any trouble). With only this on (the default), warm starts
     /// apply at the *root* relaxation — the cut-loop pattern served by
-    /// [`Solver::solve_with_state`] — which is reproducibility-safe: warm and
-    /// cold runs produce bit-identical results on the case-study workloads.
+    /// [`Solver::solve_with_state`] — and are reproducibility-safe by
+    /// construction: a warm finish is accepted only when the optimum is
+    /// primal- and dual-nondegenerate, which forces the same final basis —
+    /// hence bit-identical values — a cold solve reaches. Ambiguous optima
+    /// (routine on symmetric models, whose symmetry-breaking rows sit tight
+    /// at symmetric-tied optima) fall back to a cold solve.
     pub warm_start: bool,
     /// Additionally warm-start every branch-and-bound child from its
     /// parent's optimal basis (requires `warm_start`). This is the deepest

@@ -19,8 +19,15 @@
 //! recomputes the basic values from scratch before extracting the solution,
 //! which makes the reported values a pure function of `(basis, nonbasic
 //! states, standard form)`: a warm-started solve that lands on the same
-//! optimal basis as a cold solve reports bit-identical values. This is the
-//! property the exploration layer's warm-vs-cold bit-identity test pins.
+//! optimal basis as a cold solve reports bit-identical values. Under the
+//! default root-only warm starts, a warm solve is only allowed to finish
+//! when that landing is forced — the optimum must be primal- and
+//! dual-nondegenerate (see `optimum_is_unambiguous`), and an ambiguous
+//! optimum falls back to a cold solve. This is the property the exploration
+//! layer's warm-vs-cold bit-identity test pins, and it survives
+//! symmetry-breaking rows, which are routinely tight at symmetric optima.
+//! Opt-in node warm starts ([`SolveOptions::node_warm_start`]) skip the
+//! check and accept the weaker tie guarantee documented on that flag.
 
 use crate::error::SolveError;
 use crate::solver::backend::{
@@ -60,6 +67,7 @@ pub(crate) struct RevisedSimplex<'a> {
     deadline: Deadline,
     charged: u64,
     refactorizations: u64,
+    refactor_reuses: u64,
     refactor_every: u64,
 }
 
@@ -85,6 +93,7 @@ impl<'a> RevisedSimplex<'a> {
             deadline,
             charged: 0,
             refactorizations: 0,
+            refactor_reuses: 0,
             refactor_every: opts.refactor_every.max(1),
         }
     }
@@ -176,16 +185,86 @@ impl<'a> RevisedSimplex<'a> {
         match self.iterate()? {
             IterEnd::Optimal => {
                 self.finalize_canonical();
+                if !self.opts.node_warm_start && !self.optimum_is_unambiguous() {
+                    return Ok(None);
+                }
                 Ok(Some(self.finish_optimal()))
             }
             IterEnd::Unbounded => Ok(Some(LpOutcome::Unbounded)),
         }
     }
 
+    /// Whether the optimum just reached is the *only* optimal `(basis,
+    /// states)` pair, making a warm-started finish provably bit-identical to
+    /// a cold solve of the same LP.
+    ///
+    /// Warm and cold solves pivot along different paths, so on an LP with
+    /// several optimal bases they can finish on different ones — and the
+    /// extracted values, while equal as real numbers, need not match bit for
+    /// bit. The exploration layer pins warm-vs-cold *bit* identity, so a
+    /// warm finish is only accepted when the optimal basis is unique:
+    ///
+    /// * every basic value sits strictly inside its bounds (primal
+    ///   nondegeneracy — the vertex determines the basis), and
+    /// * every nonbasic column that can move prices out strictly (dual
+    ///   nondegeneracy — the optimal vertex is unique).
+    ///
+    /// Anything ambiguous returns `false` and the caller falls back to a
+    /// cold solve (counted as `milp.warm_start_cold_falls`). Symmetric
+    /// models are the common source of ambiguity: their symmetry-breaking
+    /// rows sit tight at symmetric-tied optima. The check guards the
+    /// default root-only warm starts; opt-in node warm starts skip it and
+    /// accept [`SolveOptions::node_warm_start`]'s weaker tie guarantee.
+    fn optimum_is_unambiguous(&mut self) -> bool {
+        let ptol = self.opts.feas_tol.max(1e-9);
+        for r in 0..self.m {
+            let j = self.basis[r];
+            let lb = self.col_lower(j);
+            let ub = self.col_upper(j);
+            let x = self.xb[r];
+            if (lb.is_finite() && x - lb <= ptol) || (ub.is_finite() && ub - x <= ptol) {
+                return false;
+            }
+        }
+        let dtol = self.opts.dual_tol.max(1e-9);
+        let y = self.btran_costs();
+        for j in 0..self.total_cols {
+            if matches!(self.state[j], ColState::Basic(_)) {
+                continue;
+            }
+            // Columns fixed by their bounds cannot enter any basis.
+            if self.col_lower(j) == self.col_upper(j) {
+                continue;
+            }
+            let mut dj = self.costs[j];
+            for (r, a) in self.gather_col(j) {
+                dj -= y[r] * a;
+            }
+            if dj.abs() <= dtol {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Canonical finish: collapse the eta file into a fresh factorization and
     /// recompute the basic values from scratch, making the extracted solution
     /// a pure function of the final basis (see module docs).
+    ///
+    /// When the eta file is already empty the current operator *is* the
+    /// canonical factorization of this basis — `refactorize` always builds in
+    /// the canonical column order, and no pivot has touched the basis since —
+    /// so rebuilding the LU is skipped and only the basic values are
+    /// recomputed (which the rebuild path does too, keeping the extracted
+    /// solution bit-identical).
     fn finalize_canonical(&mut self) {
+        if let Some(op) = &self.basis_op {
+            if op.num_etas() == 0 {
+                self.refactor_reuses += 1;
+                self.refresh_xb();
+                return;
+            }
+        }
         if self.refactorize() {
             self.refresh_xb();
         }
@@ -893,6 +972,9 @@ impl<'a> LpEngine<'a> for RevisedSimplex<'a> {
     fn refactorizations(&self) -> u64 {
         self.refactorizations
     }
+    fn refactor_reuses(&self) -> u64 {
+        self.refactor_reuses
+    }
 }
 
 #[cfg(test)]
@@ -1024,6 +1106,46 @@ mod tests {
             other => panic!("expected optimal, got {other:?}"),
         }
         assert!(sx.refactorizations > 1, "every pivot should refactorize");
+        // The last pivot already rebuilt the LU, so the canonical finish
+        // finds an empty eta file and reuses the factorization.
+        assert!(
+            sx.refactor_reuses >= 1,
+            "optimal finish should reuse the fresh factorization"
+        );
+    }
+
+    #[test]
+    fn canonical_finish_reuse_preserves_solution() {
+        // Same LP solved with an eta file forced empty at the finish
+        // (refactor_every = 1) and with the default cadence: bit-identical
+        // optima either way, proving the reuse path changes no values.
+        let mut m = Model::new("t");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constr("c1", x + 2.0 * y, Cmp::Le, 14.0).unwrap();
+        m.add_constr("c2", 3.0 * x - y, Cmp::Ge, 0.0).unwrap();
+        m.add_constr("c3", x - y, Cmp::Le, 2.0).unwrap();
+        m.set_objective(Sense::Maximize, 3.0 * x + 4.0 * y);
+        let sf = StandardForm::build(&m, None);
+        let solve_with = |refactor_every: u64| {
+            let opts = SolveOptions {
+                refactor_every,
+                ..SolveOptions::default()
+            };
+            let mut sx = RevisedSimplex::new(&sf, &opts, Deadline::unlimited());
+            let out = sx.solve().unwrap();
+            let LpOutcome::Optimal { values, min_obj } = out else {
+                panic!("expected optimal");
+            };
+            (values, min_obj, sx.refactor_reuses)
+        };
+        let (v1, o1, reuses1) = solve_with(1);
+        let (v2, o2, _) = solve_with(SolveOptions::default().refactor_every);
+        assert!(reuses1 >= 1, "reuse path must be exercised");
+        assert_eq!(o1.to_bits(), o2.to_bits());
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

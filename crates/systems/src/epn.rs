@@ -375,6 +375,67 @@ mod tests {
     }
 
     #[test]
+    fn single_side_cache_cold_streak_is_genuine() {
+        // (1,0,0) has exactly one source→sink path, and every exploration
+        // iteration re-checks it with a *different* implementation
+        // assignment (that is why a new candidate was selected at all). The
+        // refinement cache keys on the canonical form of the
+        // (type, implementation)-labeled scope, so each check is a distinct
+        // key: a 0% hit rate is correct behaviour, not a keying bug. See
+        // DESIGN.md "Symmetry reduction".
+        let p = build(&EpnConfig::table2(1, 0, 0));
+        let r = explore(&p, &ExplorerConfig::complete()).unwrap();
+        assert!(r.stats().iterations > 1);
+        assert!(r.stats().cache_misses > 0);
+        assert_eq!(
+            r.stats().cache_hits,
+            0,
+            "every (1,0,0) scope is canonically distinct"
+        );
+    }
+
+    #[test]
+    fn symmetric_sides_share_cached_verdicts() {
+        // (1,1,0): the two sides are label-isomorphic, so once one side's
+        // path verdict is computed the mirror side's is served from the
+        // canonical-form cache.
+        let p = build(&EpnConfig::table2(1, 1, 0));
+        let r = explore(&p, &ExplorerConfig::complete()).unwrap();
+        assert!(
+            r.stats().cache_hits > 0,
+            "mirror-side scopes must unify in the cache (hits {}, misses {})",
+            r.stats().cache_hits,
+            r.stats().cache_misses
+        );
+    }
+
+    #[test]
+    fn symmetry_on_off_agree_across_threads() {
+        use contrarc::SymmetryConfig;
+        let p = build(&EpnConfig::table2(1, 1, 0));
+        let base = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let base_cost = base.architecture().expect("feasible").cost();
+        for threads in [1usize, 2, 8] {
+            for symmetry in [SymmetryConfig::default(), SymmetryConfig::off()] {
+                let run = explore(
+                    &p,
+                    &ExplorerConfig {
+                        threads,
+                        symmetry,
+                        ..ExplorerConfig::complete()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    run.architecture().expect("feasible").cost().to_bits(),
+                    base_cost.to_bits(),
+                    "threads={threads} symmetry={symmetry:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn modes_agree_on_smallest_config() {
         let p = build(&EpnConfig::table2(1, 0, 0));
         let complete = explore(&p, &ExplorerConfig::complete()).unwrap();

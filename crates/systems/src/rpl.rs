@@ -89,11 +89,41 @@ const CONVEYOR_MENU: [(&str, f64, f64, f64); 2] =
 /// etc.) or zero stages is requested.
 #[must_use]
 pub fn build(config: &RplConfig, lines: RplLines) -> Problem {
+    let specs: Vec<(String, usize)> = match lines {
+        RplLines::Both => vec![("A".into(), config.n_a), ("B".into(), config.n_b)],
+        RplLines::LineA => vec![("A".into(), config.n_a)],
+        RplLines::LineB => vec![("B".into(), config.n_b)],
+    };
+    build_lines(
+        config,
+        format!("rpl[{}x{} s{}]", config.n_a, config.n_b, config.stages),
+        &specs,
+    )
+}
+
+/// Build an RPL with `k` identical parallel product lines, each with
+/// `config.n_a` slots per stage. The lines share stage types, menus, and
+/// weights, so every permutation of whole lines (and of the slots within a
+/// stage) is a template automorphism — the symmetric stress case for
+/// orbit-pruned certificate matching and the MILP symmetry rows.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `config.n_a == 0`, or `config.stages == 0`.
+#[must_use]
+pub fn build_parallel(config: &RplConfig, k: usize) -> Problem {
+    assert!(k >= 1, "at least one line required");
+    let specs: Vec<(String, usize)> = (0..k).map(|i| (format!("P{i}"), config.n_a)).collect();
+    build_lines(
+        config,
+        format!("rpl-par[{}x{} s{}]", k, config.n_a, config.stages),
+        &specs,
+    )
+}
+
+fn build_lines(config: &RplConfig, name: String, line_specs: &[(String, usize)]) -> Problem {
     assert!(config.stages >= 1, "at least one machine stage required");
-    let mut t = Template::new(format!(
-        "rpl[{}x{} s{}]",
-        config.n_a, config.n_b, config.stages
-    ));
+    let mut t = Template::new(name);
     let mut lib = Library::new();
 
     // Shared stage types: src, conv0, mach0, conv1, mach1, …, conv{stages}, sink.
@@ -188,16 +218,11 @@ pub fn build(config: &RplConfig, lines: RplLines) -> Problem {
         }
     };
 
-    match lines {
-        RplLines::Both => {
-            add_line(&mut t, "A", config.n_a);
-            add_line(&mut t, "B", config.n_b);
-        }
-        RplLines::LineA => add_line(&mut t, "A", config.n_a),
-        RplLines::LineB => add_line(&mut t, "B", config.n_b),
+    for (label, slots) in line_specs {
+        add_line(&mut t, label, *slots);
     }
 
-    let num_lines = if lines == RplLines::Both { 2.0 } else { 1.0 };
+    let num_lines = line_specs.len() as f64;
     let spec = SystemSpec {
         flow: Some(FlowSpec {
             max_supply: 80.0 * num_lines,
@@ -283,6 +308,52 @@ mod tests {
         let p = build(&cfg, RplLines::LineA);
         let r = explore(&p, &ExplorerConfig::complete()).unwrap();
         assert!(r.architecture().is_none());
+    }
+
+    #[test]
+    fn parallel_lines_are_symmetric() {
+        let cfg = RplConfig {
+            stages: 1,
+            ..RplConfig::default()
+        };
+        let p = build_parallel(&cfg, 3);
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+        // Per line: src + conv0 + mach0 + conv1 + sink = 5 nodes.
+        assert_eq!(p.template.num_nodes(), 15);
+        let aut = contrarc::sym::matcher_automorphisms(&p);
+        assert!(!aut.is_trivial(), "identical lines must be interchangeable");
+        // Whole-line swaps fold the 15 slots into 5 orbits (one per layer).
+        assert_eq!(aut.num_orbits(), 5);
+    }
+
+    #[test]
+    fn parallel_symmetry_on_off_agree_across_threads() {
+        use contrarc::SymmetryConfig;
+        let cfg = RplConfig {
+            stages: 1,
+            ..RplConfig::default()
+        };
+        let p = build_parallel(&cfg, 2);
+        let base = explore(&p, &ExplorerConfig::complete()).unwrap();
+        let base_cost = base.architecture().expect("feasible").cost();
+        for threads in [1usize, 2, 8] {
+            for symmetry in [SymmetryConfig::default(), SymmetryConfig::off()] {
+                let run = explore(
+                    &p,
+                    &ExplorerConfig {
+                        threads,
+                        symmetry,
+                        ..ExplorerConfig::complete()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    run.architecture().expect("feasible").cost().to_bits(),
+                    base_cost.to_bits(),
+                    "threads={threads} symmetry={symmetry:?}"
+                );
+            }
+        }
     }
 
     #[test]
