@@ -27,6 +27,11 @@
 //! `--trace-folded` prints flamegraph.pl-compatible collapsed stacks for
 //! all runs on stdout: `explore_bench --trace-folded | flamegraph.pl > x.svg`.
 //! `CONTRARC_TRACE=path.jsonl` writes the full JSONL trace instead.
+//!
+//! Every run also appends one summary line (git rev, timestamp, cores,
+//! noop-overhead measurement, per-case wall clocks and trajectory counts)
+//! to `BENCH_history.jsonl` next to the report — the bench-history time
+//! series behind the `bench_diff` regression gate.
 
 use contrarc::{ExplorationStats, Explorer, ExplorerConfig, Problem, Step, SymmetryConfig};
 use contrarc_milp::Budget;
@@ -470,24 +475,65 @@ fn symmetry_case() -> String {
     )
 }
 
-/// Minimum wall-clock over `runs` serial explorations of the RPL case.
-fn min_wall(problem: &Problem, runs: usize) -> f64 {
-    (0..runs)
-        .map(|_| run_once(problem, 1, WarmMode::Warm, SymmetryConfig::default()).wall_secs)
-        .fold(f64::INFINITY, f64::min)
+/// One serial exploration's wall clock.
+fn one_wall(problem: &Problem) -> f64 {
+    run_once(problem, 1, WarmMode::Warm, SymmetryConfig::default()).wall_secs
+}
+
+/// The `NoopSink` overhead measurement: best-of-N ratio plus per-arm spread.
+struct NoopOverhead {
+    /// `min(noop) / min(bare)`.
+    ratio: f64,
+    /// Fastest bare run (no sink installed at all), seconds.
+    bare_secs: f64,
+    /// Fastest run with a `NoopSink` installed (disabled fast path: one
+    /// relaxed atomic load per site), seconds.
+    noop_secs: f64,
+    /// `(max - min) / min` within the bare arm — how noisy the measurement
+    /// itself was.
+    bare_spread: f64,
+    /// Same for the noop arm.
+    noop_spread: f64,
 }
 
 /// Measure the `NoopSink` overhead: serial exploration with no sink at all
-/// versus with a `NoopSink` installed (which keeps the disabled fast path —
-/// one relaxed atomic load per site). Returns `min(noop) / min(bare)`.
-fn measure_noop_overhead(problem: &Problem) -> (f64, f64, f64) {
+/// versus with a `NoopSink` installed.
+///
+/// The measurement is interleaved best-of-N: one discarded warm-up pair
+/// (first runs pay one-time costs — allocator growth, page faults, branch
+/// history — which previously landed entirely on whichever arm ran first
+/// and produced nonsense ratios like 0.94), then N alternating bare/noop
+/// pairs, taking each arm's minimum. Minima converge on the true cost
+/// floor, so the ratio is a property of the code, not of scheduler luck;
+/// the per-arm spread is reported so a noisy machine is visible in the
+/// report rather than silently folded into the ratio.
+fn measure_noop_overhead(problem: &Problem) -> NoopOverhead {
+    const ROUNDS: usize = 5;
     let previous = contrarc_obs::uninstall_sink();
-    let bare = min_wall(problem, 2);
-    let noop = contrarc_obs::with_sink(Arc::new(NoopSink), || min_wall(problem, 2));
+    // Warm-up pair, discarded.
+    let _ = one_wall(problem);
+    let _ = contrarc_obs::with_sink(Arc::new(NoopSink), || one_wall(problem));
+    let mut bare = Vec::with_capacity(ROUNDS);
+    let mut noop = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        bare.push(one_wall(problem));
+        noop.push(contrarc_obs::with_sink(Arc::new(NoopSink), || {
+            one_wall(problem)
+        }));
+    }
     if let Some(sink) = previous {
         contrarc_obs::install_sink(sink);
     }
-    (noop / bare.max(1e-12), bare, noop)
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |xs: &[f64]| xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let spread = |xs: &[f64]| (max(xs) - min(xs)) / min(xs).max(1e-12);
+    NoopOverhead {
+        ratio: min(&noop) / min(&bare).max(1e-12),
+        bare_secs: min(&bare),
+        noop_secs: min(&noop),
+        bare_spread: spread(&bare),
+        noop_spread: spread(&noop),
+    }
 }
 
 fn main() {
@@ -521,12 +567,22 @@ fn main() {
         rendered
     });
 
-    // Overhead guard: an installed NoopSink must be free (within noise).
-    let (noop_ratio, bare_secs, noop_secs) = measure_noop_overhead(&cases[0].problem);
+    // Overhead guard: an installed NoopSink must be free. With interleaved
+    // best-of-N minima the ratio is stable around 1.0, so the sane bound is
+    // tight both ways — a ratio well below 1.0 means the measurement is
+    // broken (noise-dominated), not that observability is a speedup. The
+    // absolute escape hatch covers machines where the whole case runs in
+    // few enough milliseconds for one scheduler tick to swing the ratio.
+    let noop = measure_noop_overhead(&cases[0].problem);
     assert!(
-        noop_ratio < 1.05 || (noop_secs - bare_secs).abs() < 0.05,
-        "NoopSink overhead out of bounds: bare {bare_secs:.3}s vs noop {noop_secs:.3}s \
-         (ratio {noop_ratio:.3})"
+        (0.90..=1.10).contains(&noop.ratio) || (noop.noop_secs - noop.bare_secs).abs() < 0.020,
+        "NoopSink overhead out of bounds: bare {:.3}s (spread {:.2}) vs noop {:.3}s \
+         (spread {:.2}), ratio {:.3}",
+        noop.bare_secs,
+        noop.bare_spread,
+        noop.noop_secs,
+        noop.noop_spread,
+        noop.ratio,
     );
 
     let json = format!(
@@ -535,16 +591,24 @@ fn main() {
             "  \"cores\": {},\n",
             "  \"thread_points\": [1, 2, 0],\n",
             "  \"noop_overhead_ratio\": {:.4},\n",
+            "  \"noop_overhead\": {{\"ratio\": {:.4}, \"bare_secs\": {:.6}, ",
+            "\"noop_secs\": {:.6}, \"bare_spread\": {:.4}, \"noop_spread\": {:.4}}},\n",
             "  \"metrics\": {},\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),
         contrarc_par::available_parallelism(),
-        noop_ratio,
+        noop.ratio,
+        noop.ratio,
+        noop.bare_secs,
+        noop.noop_secs,
+        noop.bare_spread,
+        noop.noop_spread,
         metrics.to_json(),
         case_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
+    append_history(&out_path, &json, &noop);
 
     if let Some(sink) = folded_sink {
         // Collapsed stacks on stdout, ready for flamegraph.pl.
@@ -554,8 +618,100 @@ fn main() {
         "explore_bench.done",
         cases = case_json.len(),
         cores = contrarc_par::available_parallelism(),
-        noop_overhead_ratio = noop_ratio,
+        noop_overhead_ratio = noop.ratio,
         out = out_path,
     );
     contrarc_obs::flush_sink();
+}
+
+/// Append one summary line for this run to `BENCH_history.jsonl` next to
+/// the report, building the bench-history time series CI and `bench_diff`
+/// work against: git revision, timestamp, core count, the noop-overhead
+/// measurement, and per-case serial/max-thread wall clocks with the
+/// trajectory counts. The summary is extracted by re-parsing the report
+/// just written through the workspace's own JSON parser — so every run also
+/// proves the report is well-formed.
+fn append_history(out_path: &str, report_json: &str, noop: &NoopOverhead) {
+    let doc = contrarc_obs::json::parse(report_json).expect("bench report must parse");
+    let contrarc_obs::json::JsonValue::Arr(cases) = doc.get("cases").expect("report has cases")
+    else {
+        panic!("report 'cases' must be an array");
+    };
+    let mut case_lines = Vec::new();
+    for case in cases {
+        let name = case
+            .get("case")
+            .and_then(|v| v.as_str())
+            .expect("case has a name");
+        let contrarc_obs::json::JsonValue::Arr(runs) = case.get("runs").expect("case has runs")
+        else {
+            panic!("case 'runs' must be an array");
+        };
+        let num = |run: &contrarc_obs::json::JsonValue, key: &str| -> f64 {
+            run.get(key).and_then(|v| v.as_num()).unwrap_or(0.0)
+        };
+        let serial = runs.first().expect("runs nonempty");
+        let widest = runs.last().expect("runs nonempty");
+        case_lines.push(format!(
+            concat!(
+                "{{\"case\": \"{}\", \"serial_wall_secs\": {:.6}, ",
+                "\"max_threads_wall_secs\": {:.6}, \"iterations\": {}, ",
+                "\"cuts_added\": {}, \"pivots\": {}, \"nodes\": {}, \"optimum\": {:.6}}}"
+            ),
+            name,
+            num(serial, "wall_secs"),
+            num(widest, "wall_secs"),
+            num(serial, "iterations") as u64,
+            num(serial, "cuts_added") as u64,
+            num(serial, "pivots") as u64,
+            num(serial, "nodes") as u64,
+            num(serial, "optimum"),
+        ));
+    }
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = format!(
+        concat!(
+            "{{\"git_rev\": \"{}\", \"unix_secs\": {}, \"cores\": {}, ",
+            "\"noop_overhead\": {{\"ratio\": {:.4}, \"bare_spread\": {:.4}, ",
+            "\"noop_spread\": {:.4}}}, \"cases\": [{}]}}\n"
+        ),
+        git_rev(),
+        unix_secs,
+        contrarc_par::available_parallelism(),
+        noop.ratio,
+        noop.bare_spread,
+        noop.noop_spread,
+        case_lines.join(", "),
+    );
+    contrarc_obs::json::parse(line.trim_end()).expect("history line must be valid JSON");
+    let history_path = std::path::Path::new(out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_history.jsonl"),
+            |dir| dir.join("BENCH_history.jsonl"),
+        );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("history appended to {}", history_path.display()),
+        Err(e) => eprintln!("warning: cannot append {}: {e}", history_path.display()),
+    }
+}
+
+/// The current short git revision, or `unknown` outside a work tree (the
+/// bench must keep working from an exported tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_owned(), |s| s.trim().to_owned())
 }

@@ -1080,6 +1080,9 @@ impl<'p> Explorer<'p> {
         self.stats.refine_time += t1.elapsed().as_secs_f64();
         self.stats.cache_hits = self.prior_cache_hits + self.cache.hits();
         self.stats.cache_misses = self.prior_cache_misses + self.cache.misses();
+        // The refine wave dedups by canonical scope before inserting, so the
+        // entry count after it settles is thread-count invariant.
+        contrarc_obs::metrics::gauge_set("refine.cache_entries", self.cache.len() as i64);
         let violations = match violations {
             Ok(v) => v,
             Err(e) => return self.exhaust_or_err(e),
@@ -1124,6 +1127,10 @@ impl<'p> Explorer<'p> {
         self.stats.cert_time += t2.elapsed().as_secs_f64();
         self.stats.cuts_added += added;
         contrarc_obs::metrics::counter_add("explore.cuts", added as u64);
+        contrarc_obs::metrics::gauge_set(
+            "explore.cut_pool",
+            (self.enc.model.num_constrs() - self.baseline_constrs) as i64,
+        );
         iter_span.record("outcome", "pruned");
         iter_span.record("cuts", added);
         if let Some(e) = cut_err {

@@ -364,6 +364,10 @@ pub(crate) fn solve_traced(
         // thread count (speculative evaluations never reach this loop).
         let mut node_span = contrarc_obs::span!("milp.node", seq = node.seq, depth = node.depth);
         contrarc_obs::metrics::counter_add("milp.nodes", 1);
+        // Open-node frontier after this pop. Prefetch waves push every parked
+        // peer back, so the heap here holds exactly the committed frontier and
+        // the gauge is identical for every thread count.
+        contrarc_obs::metrics::gauge_set("milp.frontier", heap.len() as i64);
         contrarc_obs::metrics::observe_hist(
             "milp.node_depth",
             contrarc_obs::metrics::COUNT_BUCKETS,

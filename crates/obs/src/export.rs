@@ -1,0 +1,802 @@
+//! Metrics exposition and interval sampling.
+//!
+//! Two consumers of the registry live here:
+//!
+//! * [`expose_metrics`] renders a [`MetricsReport`] in the Prometheus text
+//!   exposition format — counters, gauges (with a `_max` high-water
+//!   companion), and histograms with cumulative `_bucket{le=…}` series plus
+//!   p50/p90/p99 quantile estimates — ready to be served from a `/metrics`
+//!   endpoint. `contrarc-serve` builds `JobServer::metrics_text()` on top of
+//!   it, adding per-tenant and per-job label dimensions.
+//! * [`MetricsSampler`] snapshots the registry on a fixed interval into a
+//!   timestamped JSONL time series (one `{"seq":…,"t_us":…,"metrics":{…}}`
+//!   object per line), turning the point-in-time registry into history a
+//!   later analysis can replay. Like every sink, the sampler observes and
+//!   never steers: it only ever *reads* the registry.
+//!
+//! A dependency-free parser/validator for the exposition format
+//! ([`parse_exposition`], [`validate_exposition`]) keeps the writer honest —
+//! tests and CI round-trip every exposition through it.
+
+use crate::metrics::{snapshot, HistogramSnapshot, MetricsReport};
+use std::fmt::Write as _;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Namespace prefix of every exposed metric (`milp.nodes` exposes as
+/// `contrarc_milp_nodes`).
+pub const EXPOSITION_PREFIX: &str = "contrarc";
+
+/// Quantiles estimated for every exposed histogram.
+pub const EXPOSED_QUANTILES: &[f64] = &[0.5, 0.9, 0.99];
+
+/// Map a dotted registry name onto a valid Prometheus metric name:
+/// prefix with [`EXPOSITION_PREFIX`] and replace every character outside
+/// `[a-zA-Z0-9_:]` with `_`.
+#[must_use]
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(EXPOSITION_PREFIX.len() + 1 + name.len());
+    out.push_str(EXPOSITION_PREFIX);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value for the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n` (the only three escapes the format defines).
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a numeric sample value: integral floats print without a fraction,
+/// infinities as `+Inf`/`-Inf` (the format's spelling), NaN as `NaN`.
+#[must_use]
+pub fn fmt_sample_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append one `name{labels} value` sample line. `name` must already be a
+/// valid metric name (see [`metric_name`]); label values are escaped here.
+pub fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {}", fmt_sample_value(value));
+}
+
+/// Append the `# HELP` / `# TYPE` preamble of a metric family. `name` must
+/// already be a valid metric name and `kind` one of the format's types.
+pub fn push_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn push_histogram(out: &mut String, h: &HistogramSnapshot, extra: &[(&str, &str)]) {
+    let base = metric_name(h.name);
+    push_header(out, &base, "histogram", h.name);
+    let bucket_name = format!("{base}_bucket");
+    let mut cum = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        cum += c;
+        let le = match h.bounds.get(i) {
+            Some(b) => fmt_sample_value(*b),
+            None => "+Inf".to_owned(),
+        };
+        let mut labels: Vec<(&str, &str)> = extra.to_vec();
+        labels.push(("le", &le));
+        push_sample(out, &bucket_name, &labels, cum as f64);
+    }
+    push_sample(out, &format!("{base}_sum"), extra, h.sum);
+    push_sample(out, &format!("{base}_count"), extra, h.count as f64);
+    let qname = format!("{base}_quantile");
+    push_header(
+        out,
+        &qname,
+        "gauge",
+        "bucket-interpolated quantile estimates",
+    );
+    for &q in EXPOSED_QUANTILES {
+        let qs = fmt_sample_value(q);
+        let mut labels: Vec<(&str, &str)> = extra.to_vec();
+        labels.push(("quantile", &qs));
+        push_sample(out, &qname, &labels, h.quantile(q));
+    }
+}
+
+/// Render a [`MetricsReport`] in the Prometheus text exposition format with
+/// no extra labels. See [`expose_metrics_labeled`].
+#[must_use]
+pub fn expose_metrics(report: &MetricsReport) -> String {
+    expose_metrics_labeled(report, &[])
+}
+
+/// Render a [`MetricsReport`] in the Prometheus text exposition format,
+/// attaching `labels` to every sample (e.g. `[("tenant", "a")]`).
+///
+/// Counters expose under their sanitized name; each gauge additionally
+/// exposes a `<name>_max` gauge carrying its high-water mark; histograms
+/// expose cumulative `_bucket{le=…}` series (terminated by the mandatory
+/// `le="+Inf"` bucket), `_sum`, `_count`, and a `<name>_quantile{quantile=…}`
+/// gauge family with p50/p90/p99 estimates from
+/// [`HistogramSnapshot::quantile`].
+#[must_use]
+pub fn expose_metrics_labeled(report: &MetricsReport, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for c in &report.counters {
+        let name = metric_name(c.name);
+        push_header(&mut out, &name, "counter", c.name);
+        push_sample(&mut out, &name, labels, c.value as f64);
+    }
+    for g in &report.gauges {
+        let name = metric_name(g.name);
+        push_header(&mut out, &name, "gauge", g.name);
+        push_sample(&mut out, &name, labels, g.value as f64);
+        let max_name = format!("{name}_max");
+        push_header(&mut out, &max_name, "gauge", "high-water mark");
+        push_sample(&mut out, &max_name, labels, g.max as f64);
+    }
+    for h in &report.histograms {
+        push_histogram(&mut out, h, labels);
+    }
+    out
+}
+
+/// One parsed sample of an exposition document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in document order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` parse to the matching `f64`).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of a named label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition document: `# TYPE` declarations plus samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `(family name, type)` pairs in document order.
+    pub types: Vec<(String, String)>,
+    /// All samples in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The declared type of a metric family, if any.
+    #[must_use]
+    pub fn type_of(&self, family: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == family)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// All samples with exactly this metric name.
+    #[must_use]
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value '{other}'")),
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text;
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim();
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name '{key}'"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next().ok_or("dangling escape")?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("unknown escape '\\{other}'")),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key.to_owned(), value));
+        rest = &rest[close + 1..];
+    }
+}
+
+/// Parse a Prometheus text exposition document: `# HELP` / `# TYPE`
+/// comments and `name{labels} value` samples.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line on malformed input.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE without name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE without kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {ln}: invalid metric name '{name}'"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: unknown metric type '{kind}'"));
+                }
+                if doc.type_of(name).is_some() {
+                    return Err(format!("line {ln}: duplicate TYPE for '{name}'"));
+                }
+                doc.types.push((name.to_owned(), kind.to_owned()));
+            } else if !comment.starts_with("HELP ") && !comment.is_empty() {
+                // Other comments are legal; HELP lines carry free text.
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value
+        let (head, value_text) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or(format!("line {ln}: unterminated label set"))?;
+                (
+                    (&line[..brace], Some(&line[brace + 1..close])),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or(format!("line {ln}: sample without value"))?;
+                ((&line[..sp], None), line[sp + 1..].trim())
+            }
+        };
+        let (name, labels_text) = head;
+        let name = name.trim();
+        if !valid_metric_name(name) {
+            return Err(format!("line {ln}: invalid metric name '{name}'"));
+        }
+        let labels = match labels_text {
+            Some(t) => parse_labels(t).map_err(|e| format!("line {ln}: {e}"))?,
+            None => Vec::new(),
+        };
+        // A timestamp after the value is legal in the format; we never emit
+        // one, so take only the first token as the value.
+        let value_token = value_text
+            .split_whitespace()
+            .next()
+            .ok_or(format!("line {ln}: sample without value"))?;
+        let value = parse_value(value_token).map_err(|e| format!("line {ln}: {e}"))?;
+        doc.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+    Ok(doc)
+}
+
+/// Parse `text` and check the structural invariants our writer guarantees:
+/// every sample belongs to a declared family (its exact name, its name minus
+/// a `_bucket`/`_sum`/`_count` suffix for histograms, or minus `_max` for
+/// gauges), and every histogram's `le` buckets are cumulative, ordered, and
+/// terminated by `le="+Inf"` equal to `_count`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_exposition(text: &str) -> Result<Exposition, String> {
+    let doc = parse_exposition(text)?;
+    for s in &doc.samples {
+        let family_known = doc.type_of(&s.name).is_some()
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                s.name
+                    .strip_suffix(suffix)
+                    .is_some_and(|base| doc.type_of(base) == Some("histogram"))
+            });
+        if !family_known {
+            return Err(format!("sample '{}' has no TYPE declaration", s.name));
+        }
+    }
+    for (family, kind) in &doc.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let buckets = doc.samples_named(&format!("{family}_bucket"));
+        // Group by the non-`le` label signature so labeled expositions
+        // validate each series independently.
+        type SeriesKey = Vec<(String, String)>;
+        let mut series: Vec<(SeriesKey, Vec<&Sample>)> = Vec::new();
+        for b in buckets {
+            let key: SeriesKey = b
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            match series.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(b),
+                None => series.push((key, vec![b])),
+            }
+        }
+        for (_, run) in &series {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_cum = 0.0;
+            for b in run {
+                let le = b
+                    .label("le")
+                    .ok_or(format!("histogram '{family}' bucket without an 'le' label"))?;
+                let le = parse_value(le)?;
+                if le <= prev_le {
+                    return Err(format!("histogram '{family}' buckets out of order"));
+                }
+                if b.value < prev_cum {
+                    return Err(format!("histogram '{family}' buckets not cumulative"));
+                }
+                prev_le = le;
+                prev_cum = b.value;
+            }
+            match run.last() {
+                Some(last) if last.label("le") == Some("+Inf") => {}
+                _ => {
+                    return Err(format!(
+                        "histogram '{family}' missing terminal le=\"+Inf\" bucket"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(doc)
+}
+
+struct SamplerShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Snapshots the metrics registry on a fixed interval into a JSONL time
+/// series: one `{"seq":N,"t_us":T,"metrics":{…}}` object per line, where
+/// `t_us` is the process-local monotonic trace clock ([`crate::now_us`]) and
+/// `metrics` is [`MetricsReport::to_json`]. One sample is written
+/// immediately on start and a final one on stop, so even a short-lived
+/// sampler records the end state.
+///
+/// The sampler is an observer in the strict sense of the crate's design
+/// contract: it only ever reads the registry, so running one cannot perturb
+/// any exploration result (pinned by the determinism suite).
+#[derive(Debug)]
+pub struct MetricsSampler {
+    shared: Arc<SamplerShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SamplerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SamplerShared")
+    }
+}
+
+impl MetricsSampler {
+    /// Start a sampler thread writing one JSONL sample to `writer` now, one
+    /// per `interval` tick, and one on stop. Write errors are swallowed —
+    /// sampling must never steer the computation it observes.
+    #[must_use]
+    pub fn start(interval: Duration, writer: Box<dyn std::io::Write + Send>) -> Self {
+        let shared = Arc::new(SamplerShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("metrics-sampler".to_owned())
+            .spawn(move || {
+                let mut writer = writer;
+                let mut seq = 0u64;
+                let mut write_sample = |seq: u64| {
+                    let line = format!(
+                        "{{\"seq\":{seq},\"t_us\":{},\"metrics\":{}}}\n",
+                        crate::now_us(),
+                        snapshot().to_json()
+                    );
+                    let _ = writer.write_all(line.as_bytes());
+                    let _ = writer.flush();
+                };
+                loop {
+                    write_sample(seq);
+                    seq += 1;
+                    let stopped = {
+                        let guard = thread_shared
+                            .stop
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if *guard {
+                            true
+                        } else {
+                            *thread_shared
+                                .wake
+                                .wait_timeout(guard, interval)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                    };
+                    if stopped {
+                        write_sample(seq);
+                        return;
+                    }
+                }
+            })
+            .expect("spawn metrics sampler thread");
+        MetricsSampler {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Start a sampler writing to a (created/truncated) file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(interval: Duration, path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::start(
+            interval,
+            Box::new(std::fs::File::create(path)?),
+        ))
+    }
+
+    /// Write the final sample and join the sampler thread. Also runs on
+    /// drop; calling it explicitly just surfaces the point of shutdown.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::{CounterSnapshot, GaugeSnapshot, COUNT_BUCKETS};
+
+    fn hist(counts: Vec<u64>, bounds: Vec<f64>, min: f64, max: f64) -> HistogramSnapshot {
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            name: "test.h",
+            sum: 0.0,
+            count,
+            counts,
+            bounds,
+            min,
+            max,
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10 observations ≤ 1, 10 in (1, 2]: the median sits exactly at the
+        // first bucket's upper bound, p75 halfway into the second.
+        let h = hist(vec![10, 10, 0], vec![1.0, 2.0], 0.1, 2.0);
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        assert!(
+            (h.quantile(0.75) - 1.5).abs() < 1e-9,
+            "{}",
+            h.quantile(0.75)
+        );
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-9);
+        // p0 clamps to the observed minimum.
+        assert!(h.quantile(0.0) >= 0.1 - 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let h = hist(vec![3, 5, 9, 2, 1], vec![1.0, 2.0, 4.0, 8.0], 0.4, 120.0);
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for pair in qs.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12, "non-monotone: {qs:?}");
+        }
+        // The overflow bucket interpolates toward max, never past it.
+        assert!(h.quantile(1.0) <= 120.0 + 1e-12);
+        assert!(hist(vec![0], vec![], 0.0, 0.0).quantile(0.5) == 0.0);
+    }
+
+    #[test]
+    fn metric_names_sanitize() {
+        assert_eq!(metric_name("milp.nodes"), "contrarc_milp_nodes");
+        assert_eq!(
+            metric_name("serve.queue-depth 2"),
+            "contrarc_serve_queue_depth_2"
+        );
+        assert!(valid_metric_name(&metric_name("weird.名前")));
+    }
+
+    #[test]
+    fn label_values_escape_and_parse_back() {
+        let nasty = "a\"b\\c\nd";
+        assert_eq!(escape_label_value(nasty), "a\\\"b\\\\c\\nd");
+        let mut line = String::new();
+        push_sample(&mut line, "x_total", &[("tenant", nasty)], 3.0);
+        let doc = parse_exposition(&line).unwrap();
+        assert_eq!(doc.samples.len(), 1);
+        assert_eq!(doc.samples[0].label("tenant"), Some(nasty));
+        assert_eq!(doc.samples[0].value, 3.0);
+    }
+
+    #[test]
+    fn exposition_golden_round_trip() {
+        let report = MetricsReport {
+            counters: vec![CounterSnapshot {
+                name: "milp.nodes",
+                value: 12,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "serve.queue.depth",
+                value: 2,
+                max: 5,
+            }],
+            // All mass in one bucket and min == max, so every quantile
+            // estimate clamps to exactly 1.5 — keeps the golden text free of
+            // float-formatting noise (interpolation accuracy has its own
+            // tests above).
+            histograms: vec![HistogramSnapshot {
+                sum: 48.0,
+                ..hist(vec![0, 32, 0], vec![1.0, 2.0], 1.5, 1.5)
+            }],
+        };
+        let text = expose_metrics(&report);
+        let expected = "\
+# HELP contrarc_milp_nodes milp.nodes
+# TYPE contrarc_milp_nodes counter
+contrarc_milp_nodes 12
+# HELP contrarc_serve_queue_depth serve.queue.depth
+# TYPE contrarc_serve_queue_depth gauge
+contrarc_serve_queue_depth 2
+# HELP contrarc_serve_queue_depth_max high-water mark
+# TYPE contrarc_serve_queue_depth_max gauge
+contrarc_serve_queue_depth_max 5
+# HELP contrarc_test_h test.h
+# TYPE contrarc_test_h histogram
+contrarc_test_h_bucket{le=\"1\"} 0
+contrarc_test_h_bucket{le=\"2\"} 32
+contrarc_test_h_bucket{le=\"+Inf\"} 32
+contrarc_test_h_sum 48
+contrarc_test_h_count 32
+# HELP contrarc_test_h_quantile bucket-interpolated quantile estimates
+# TYPE contrarc_test_h_quantile gauge
+contrarc_test_h_quantile{quantile=\"0.5\"} 1.5
+contrarc_test_h_quantile{quantile=\"0.9\"} 1.5
+contrarc_test_h_quantile{quantile=\"0.99\"} 1.5\n";
+        assert_eq!(text, expected);
+        let doc = validate_exposition(&text).unwrap();
+        assert_eq!(doc.type_of("contrarc_milp_nodes"), Some("counter"));
+        assert_eq!(doc.type_of("contrarc_test_h"), Some("histogram"));
+        let q = doc.samples_named("contrarc_test_h_quantile");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[0].label("quantile"), Some("0.5"));
+    }
+
+    #[test]
+    fn labeled_exposition_validates_per_series() {
+        let report = MetricsReport {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![hist(vec![1, 2], vec![4.0], 1.0, 9.0)],
+        };
+        let mut text = expose_metrics_labeled(&report, &[("tenant", "a")]);
+        text.push_str(&expose_metrics_labeled(&report, &[("tenant", "b")]));
+        // The second document's TYPE lines duplicate the first's; strip them
+        // the way a scrape assembler would.
+        let merged: String = {
+            let mut seen = std::collections::BTreeSet::new();
+            text.lines()
+                .filter(|l| {
+                    if l.starts_with('#') {
+                        seen.insert(l.to_string())
+                    } else {
+                        true
+                    }
+                })
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                })
+        };
+        let doc = validate_exposition(&merged).unwrap();
+        let buckets = doc.samples_named("contrarc_test_h_bucket");
+        assert_eq!(buckets.len(), 4, "two series of two buckets: {merged}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_exposition("1bad_name 3\n").is_err());
+        assert!(parse_exposition("x{le=\"unterminated} 3\n").is_err());
+        assert!(parse_exposition("x not_a_number\n").is_err());
+        assert!(parse_exposition("# TYPE x flavour\n").is_err());
+        // Sample without a declared family fails validation, not parsing.
+        assert!(parse_exposition("x 1\n").is_ok());
+        assert!(validate_exposition("x 1\n").is_err());
+        // Non-cumulative buckets fail validation.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n";
+        assert!(validate_exposition(bad).is_err());
+        // Missing +Inf terminal bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn sampler_writes_monotone_jsonl_series() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let ((), _report) = crate::metrics::with_metrics(|| {
+            let sampler =
+                MetricsSampler::start(Duration::from_millis(5), Box::new(Shared(Arc::clone(&buf))));
+            for i in 0..50 {
+                crate::metrics::counter_add("sampled.ticks", 1);
+                crate::metrics::observe_hist("sampled.values", COUNT_BUCKETS, i as f64);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            sampler.stop();
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "start + final samples expected: {text}");
+        let mut prev_seq = None;
+        let mut prev_t = 0.0;
+        let mut prev_ticks = 0.0;
+        for line in &lines {
+            let doc = parse(line).expect("sample line is valid JSON");
+            let seq = doc.get("seq").and_then(|v| v.as_num()).unwrap();
+            let t = doc.get("t_us").and_then(|v| v.as_num()).unwrap();
+            let ticks = doc
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("sampled.ticks"))
+                .and_then(|v| v.as_num())
+                .unwrap_or(0.0);
+            if let Some(p) = prev_seq {
+                assert_eq!(seq, p + 1.0, "sample seq must increment");
+            }
+            assert!(t >= prev_t, "monotonic clock went backwards");
+            assert!(ticks >= prev_ticks, "counter went backwards");
+            prev_seq = Some(seq);
+            prev_t = t;
+            prev_ticks = ticks;
+        }
+        // The final (post-stop) sample saw every tick.
+        let last = parse(lines.last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("sampled.ticks"))
+                .and_then(|v| v.as_num()),
+            Some(50.0)
+        );
+    }
+}

@@ -187,6 +187,36 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q ∈ [0, 1]`) from the bucket counts by
+    /// linear interpolation inside the bucket containing the target rank —
+    /// the same estimator Prometheus' `histogram_quantile` uses, except the
+    /// open-ended overflow bucket interpolates toward the tracked `max`
+    /// instead of being unbounded. Estimates are clamped to the observed
+    /// `[min, max]` range; an empty histogram estimates 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= rank {
+                let upper = self.bounds.get(i).copied().unwrap_or(self.max);
+                let lower = if i == 0 {
+                    self.min.min(upper)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * frac).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// A point-in-time snapshot of the whole registry, ready for rendering

@@ -32,10 +32,14 @@
 //!   deadlines and work budgets degrade the same way via the core crate's
 //!   anytime contract.
 //! - **Observability**: aggregate metrics (`serve.*` counters and gauges —
-//!   queue depth, retries, recoveries, quarantines, checkpoint writes and
-//!   corruptions) through `contrarc-obs`, per-job JSONL lifecycle traces
-//!   via [`ServerConfig::trace_dir`], and an anytime incumbent stream via
-//!   [`ServerConfig::on_incumbent`].
+//!   queue depth, running jobs, busy workers, retries, recoveries,
+//!   quarantines, checkpoint writes and corruptions) through
+//!   `contrarc-obs`; a Prometheus-format scrape via
+//!   [`JobServer::metrics_text`] with per-tenant/per-job label dimensions
+//!   and a periodic snapshot stream via [`JobServer::metrics_watch`];
+//!   per-job JSONL lifecycle traces via [`ServerConfig::trace_dir`], each
+//!   closed by a final metrics snapshot; and an anytime incumbent stream
+//!   via [`ServerConfig::on_incumbent`].
 //!
 //! With the `fault-injection` cargo feature, [`ChaosConfig`] arms a
 //! deterministic chaos schedule (seeded worker panics and torn checkpoint
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod job;
+mod metrics;
 mod server;
 mod trace;
 
@@ -57,4 +62,5 @@ mod chaos;
 #[cfg(feature = "fault-injection")]
 pub use chaos::ChaosConfig;
 pub use job::{AdmissionError, IncumbentCallback, IncumbentEvent, JobId, JobSpec, JobStatus};
+pub use metrics::MetricsWatch;
 pub use server::{JobConfig, JobServer, ServerConfig};

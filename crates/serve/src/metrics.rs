@@ -1,0 +1,132 @@
+//! Periodic metrics exposition for a running server.
+//!
+//! [`MetricsWatch`] is the streaming half of the server's observability
+//! surface: where [`crate::JobServer::metrics_text`] answers one scrape,
+//! a watch snapshots the same exposition on a fixed interval into a writer
+//! (a file, a pipe, a socket), each snapshot preceded by a
+//! `# contrarc-serve metrics snapshot seq=… t_us=…` comment line — still
+//! valid Prometheus text format, so a snapshot stream can be cut at any
+//! comment boundary and parsed.
+
+use std::io::Write;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+struct Shared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread periodically writing metrics exposition snapshots.
+///
+/// Obtained from [`crate::JobServer::metrics_watch`]. The watch holds only a
+/// weak reference to the server: it never keeps a dropped server alive, and
+/// it stops on its own once the server is gone. Dropping the watch (or
+/// calling [`MetricsWatch::stop`]) writes one final snapshot and joins the
+/// thread. Write errors are swallowed — observation must never disturb the
+/// jobs it observes.
+pub struct MetricsWatch {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsWatch")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl MetricsWatch {
+    /// Spawn a watch over `source`, which renders one exposition document
+    /// per call (or `None` once its subject is gone, ending the watch).
+    pub(crate) fn spawn(
+        interval: Duration,
+        mut writer: Box<dyn Write + Send>,
+        source: Box<dyn Fn() -> Option<String> + Send>,
+    ) -> MetricsWatch {
+        let shared = Arc::new(Shared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("serve-metrics-watch".to_owned())
+            .spawn(move || {
+                let mut seq = 0u64;
+                loop {
+                    let Some(text) = source() else { return };
+                    let header = format!(
+                        "# contrarc-serve metrics snapshot seq={seq} t_us={}\n",
+                        contrarc_obs::now_us()
+                    );
+                    let _ = writer.write_all(header.as_bytes());
+                    let _ = writer.write_all(text.as_bytes());
+                    let _ = writer.write_all(b"\n");
+                    let _ = writer.flush();
+                    seq += 1;
+                    let stopped = {
+                        let guard = thread_shared
+                            .stop
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if *guard {
+                            true
+                        } else {
+                            *thread_shared
+                                .wake
+                                .wait_timeout(guard, interval)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                    };
+                    if stopped {
+                        // One final snapshot so the stream ends with the
+                        // terminal state, mirroring obs' MetricsSampler.
+                        if let Some(text) = source() {
+                            let header = format!(
+                                "# contrarc-serve metrics snapshot seq={seq} t_us={} final\n",
+                                contrarc_obs::now_us()
+                            );
+                            let _ = writer.write_all(header.as_bytes());
+                            let _ = writer.write_all(text.as_bytes());
+                            let _ = writer.write_all(b"\n");
+                            let _ = writer.flush();
+                        }
+                        return;
+                    }
+                }
+            })
+            .expect("spawn metrics watch thread");
+        MetricsWatch {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Write the final snapshot and join the watch thread. Also runs on
+    /// drop; the explicit form just names the shutdown point.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsWatch {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

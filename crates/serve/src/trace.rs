@@ -20,6 +20,10 @@ pub(crate) enum Field {
     Str(&'static str, String),
     Num(&'static str, f64),
     Int(&'static str, u64),
+    /// A pre-rendered JSON document spliced in verbatim (used to nest the
+    /// final metrics snapshot inside a lifecycle event). The caller owes the
+    /// validity of the JSON.
+    Json(&'static str, String),
 }
 
 /// Appends lifecycle events to per-job JSONL files; a no-op when no trace
@@ -36,6 +40,12 @@ impl TraceSink {
             let _ = std::fs::create_dir_all(d);
         }
         TraceSink { dir }
+    }
+
+    /// Whether events go anywhere. Lets callers skip building expensive
+    /// field payloads (like a full metrics snapshot) when tracing is off.
+    pub(crate) fn enabled(&self) -> bool {
+        self.dir.is_some()
     }
 
     pub(crate) fn emit(&self, job: JobId, event: &str, fields: &[Field]) {
@@ -64,6 +74,11 @@ impl TraceSink {
                     escape_into(&mut line, key);
                     line.push(':');
                     line.push_str(&format!("{value}"));
+                }
+                Field::Json(key, value) => {
+                    escape_into(&mut line, key);
+                    line.push(':');
+                    line.push_str(value);
                 }
             }
         }
@@ -99,9 +114,14 @@ mod tests {
             ],
         );
         sink.emit(JobId(3), "done", &[Field::Str("outcome", "optimal".into())]);
+        sink.emit(
+            JobId(3),
+            "metrics_snapshot",
+            &[Field::Json("metrics", "{\"counters\":{\"x\":1}}".into())],
+        );
         let text = std::fs::read_to_string(dir.join("job-3.jsonl")).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert_eq!(
             lines[0],
             "{\"event\":\"attempt_start\",\"attempt\":2,\"resume\":\"latest\",\"weight\":1.5}"
@@ -109,6 +129,15 @@ mod tests {
         for line in &lines {
             contrarc_obs::json::parse(line).expect("trace lines must be valid JSON");
         }
+        let doc = contrarc_obs::json::parse(lines[2]).unwrap();
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("x"))
+                .and_then(|v| v.as_num()),
+            Some(1.0),
+            "Json fields splice as nested objects"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 }

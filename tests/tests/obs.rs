@@ -175,6 +175,90 @@ fn metrics_registry_mirrors_exploration_stats() {
 }
 
 #[test]
+fn live_gauges_are_populated_and_thread_count_invariant() {
+    let _serial = serialize();
+    let run = |threads: usize| {
+        let (result, report) = contrarc_obs::metrics::with_metrics(|| {
+            explore(&problem(), &config(threads)).expect("exploration failed")
+        });
+        (result, report)
+    };
+    let (result_1, report_1) = run(1);
+    for name in ["milp.frontier", "explore.cut_pool", "refine.cache_entries"] {
+        let g = report_1
+            .gauge(name)
+            .unwrap_or_else(|| panic!("gauge '{name}' never set during exploration"));
+        assert!(g.max > 0, "gauge '{name}' never rose above zero");
+    }
+    // Cut-pool and cache gauges end at the values the statistics imply.
+    assert_eq!(
+        report_1.gauge("explore.cut_pool").unwrap().value,
+        result_1.stats().cuts_added as i64,
+        "final cut-pool gauge disagrees with cuts_added"
+    );
+    // Gauges are set only at serial commit points, so value and high-water
+    // mark are identical for every thread count.
+    let (_, report_4) = run(4);
+    for name in ["milp.frontier", "explore.cut_pool", "refine.cache_entries"] {
+        let (g1, g4) = (report_1.gauge(name).unwrap(), report_4.gauge(name).unwrap());
+        assert_eq!(
+            g1.value, g4.value,
+            "gauge '{name}' value differs at threads=4"
+        );
+        assert_eq!(
+            g1.max, g4.max,
+            "gauge '{name}' high-water differs at threads=4"
+        );
+    }
+}
+
+#[test]
+fn exploration_is_unchanged_with_metrics_sampler_live() {
+    let _serial = serialize();
+    // Sinks (and samplers) observe, never steer: an exploration sampled at a
+    // fast interval must produce bit-identical results to an unsampled one.
+    let (baseline, _) =
+        contrarc_obs::metrics::with_metrics(|| explore(&problem(), &config(4)).unwrap());
+    let path =
+        std::env::temp_dir().join(format!("contrarc_obs_sampled_{}.jsonl", std::process::id()));
+    let (sampled, _) = contrarc_obs::metrics::with_metrics(|| {
+        let sampler = contrarc_obs::export::MetricsSampler::create(
+            std::time::Duration::from_millis(1),
+            &path,
+        )
+        .expect("create sampler output");
+        let result = explore(&problem(), &config(4)).unwrap();
+        sampler.stop();
+        result
+    });
+    assert_eq!(
+        baseline.architecture().map(|a| a.cost().to_bits()),
+        sampled.architecture().map(|a| a.cost().to_bits()),
+        "sampler changed the optimum"
+    );
+    assert_eq!(baseline.stats().iterations, sampled.stats().iterations);
+    assert_eq!(baseline.stats().cuts_added, sampled.stats().cuts_added);
+    assert_eq!(baseline.stats().cache_hits, sampled.stats().cache_hits);
+
+    // And the samples themselves are well-formed: parseable JSON with a
+    // strictly increasing sequence number.
+    let text = std::fs::read_to_string(&path).expect("read samples back");
+    let _ = std::fs::remove_file(&path);
+    let mut last_seq = -1i64;
+    for line in text.lines() {
+        let doc = contrarc_obs::json::parse(line).expect("sample line is valid JSON");
+        let seq = doc.get("seq").and_then(|v| v.as_num()).expect("seq") as i64;
+        assert!(seq > last_seq, "sample seq must be strictly increasing");
+        last_seq = seq;
+        assert!(doc.get("metrics").is_some(), "sample carries the registry");
+    }
+    assert!(
+        last_seq >= 1,
+        "sampler must write at least first + final samples"
+    );
+}
+
+#[test]
 fn metrics_disabled_outside_with_metrics_scope() {
     let _serial = serialize();
     let ((), report) = contrarc_obs::metrics::with_metrics(|| {});
